@@ -1,0 +1,77 @@
+"""Ablation — RoW for writes with more than one essential word (§IV-B4).
+
+The paper restricts RoW to single-essential-word writes ("to keep the
+write latency at a reasonable bound and reduce the complexity of the
+scheduler") but sketches the extension: break a multi-word write into
+serial one-word partial writes, each overlappable.  This simulator
+supports the knob directly (``row_max_essential_words``); the ablation
+measures what the paper's restriction costs or saves.
+"""
+
+from repro.analysis import format_table, percent
+from repro.core.systems import make_system
+from repro.sim.experiment import run_workload
+
+from benchmarks.common import SWEEP_PARAMS, write_report
+
+WORD_LIMITS = (1, 2, 3)
+WORKLOADS = ("canneal", "MP1")
+_RESULTS = {}
+
+
+def _run() -> dict:
+    if _RESULTS:
+        return _RESULTS
+    for workload in WORKLOADS:
+        base = run_workload(workload, make_system("baseline"), SWEEP_PARAMS)
+        for limit in WORD_LIMITS:
+            result = run_workload(
+                workload,
+                make_system("rwow-rde", row_max_essential_words=limit),
+                SWEEP_PARAMS,
+            )
+            _RESULTS[(workload, limit)] = {
+                "gain": result.ipc / base.ipc - 1.0,
+                "row_reads": result.memory.row_reads,
+                "read_latency": result.mean_read_latency_ns,
+            }
+    return _RESULTS
+
+
+def _build_report() -> str:
+    results = _run()
+    rows = []
+    for workload in WORKLOADS:
+        for limit in WORD_LIMITS:
+            data = results[(workload, limit)]
+            rows.append(
+                [
+                    workload,
+                    limit,
+                    percent(data["gain"]),
+                    data["row_reads"],
+                    f"{data['read_latency']:.0f}",
+                ]
+            )
+    return format_table(
+        ["workload", "RoW word limit", "IPC gain", "RoW reads", "read lat (ns)"],
+        rows,
+        title=(
+            "Ablation: RoW applied to multi-essential-word writes "
+            "(paper §IV-B4 keeps the limit at 1)"
+        ),
+    )
+
+
+def test_ablation_row_multiword(benchmark):
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("ablation_row_multiword", report)
+
+    results = _run()
+    for workload in WORKLOADS:
+        gains = [results[(workload, limit)]["gain"] for limit in WORD_LIMITS]
+        # The system keeps working at every limit, and gains stay within
+        # a few percent of the paper's limit-1 choice — the restriction
+        # is cheap, which is why the paper adopts it.
+        assert all(g > -0.05 for g in gains)
+        assert abs(gains[1] - gains[0]) < 0.15

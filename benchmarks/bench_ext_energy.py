@@ -1,0 +1,75 @@
+"""Extension — array energy cost of PCMap's parallelism.
+
+The paper motivates the problem with PCM write power (§III-A2) but does
+not quantify PCMap's own energy overhead (extra PCC word updates, the
+deferred-verification reads).  This benchmark prices it: per-request
+array energy for every system variant under the energy model derived
+from the prototype data the paper cites.
+"""
+
+from repro.analysis import format_table
+from repro.core.systems import SYSTEM_NAMES
+from repro.memory.power import DEFAULT_ENERGY_MODEL
+from repro.sim.experiment import run_workload
+
+from benchmarks.common import SWEEP_PARAMS, write_report
+
+WORKLOAD = "canneal"
+_RESULTS = {}
+
+
+def _run() -> dict:
+    if _RESULTS:
+        return _RESULTS
+    for name in SYSTEM_NAMES:
+        result = run_workload(WORKLOAD, name, SWEEP_PARAMS)
+        _RESULTS[name] = {
+            "per_request_nj": DEFAULT_ENERGY_MODEL.energy_per_request_nj(
+                result.memory
+            ),
+            "total_uj": DEFAULT_ENERGY_MODEL.run_energy_uj(result.memory),
+            "verify_reads": result.memory.verify_count,
+            "ipc": result.ipc,
+        }
+    return _RESULTS
+
+
+def _build_report() -> str:
+    results = _run()
+    base = results["baseline"]["per_request_nj"]
+    rows = []
+    for name, data in results.items():
+        overhead = (
+            data["per_request_nj"] / base - 1.0 if base else 0.0
+        )
+        rows.append(
+            [
+                name,
+                f"{data['per_request_nj']:.2f}",
+                f"{overhead:+.1%}",
+                data["verify_reads"],
+                f"{data['ipc']:.3f}",
+            ]
+        )
+    return format_table(
+        ["system", "nJ/request", "vs baseline", "verify reads", "IPC"],
+        rows,
+        title=(
+            f"Extension: array energy per request ({WORKLOAD}) — the "
+            "price of PCMap's extra PCC updates and verify reads"
+        ),
+    )
+
+
+def test_ext_energy(benchmark):
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("ext_energy", report)
+
+    results = _run()
+    base = results["baseline"]["per_request_nj"]
+    full = results["rwow-rde"]["per_request_nj"]
+    assert base > 0
+    # PCMap's energy overhead stays moderate (< 60 % per request) while
+    # its IPC gain is delivered — the trade the paper implies is cheap.
+    assert full < 1.6 * base
+    assert results["rwow-rde"]["ipc"] > results["baseline"]["ipc"]

@@ -1,0 +1,56 @@
+"""Extension — PCMap vs the write-pausing prior art (paper §VII).
+
+The paper positions PCMap against preemption-based schemes (write
+cancellation/pausing, its reference [11]): instead of interrupting a
+write to let reads through, PCMap serves them *concurrently*.  This
+benchmark runs the implemented write-pausing comparator next to the
+baseline and full PCMap: PCMap must dominate, and pausing must at best
+approach the baseline (its preemption overheads buy little once the
+controller already prioritises reads and batches writes).
+"""
+
+from repro.analysis import FigureSeries, figure_report, percent
+from repro.sim.experiment import sweep_workloads
+
+from benchmarks.common import SWEEP_PARAMS, write_report
+
+WORKLOADS = ["canneal", "streamcluster", "MP1", "MP4"]
+SYSTEMS = ["baseline", "write-pausing", "rwow-rde"]
+
+_SWEEP = []
+
+
+def _run():
+    if not _SWEEP:
+        _SWEEP.extend(sweep_workloads(WORKLOADS, SYSTEMS, SWEEP_PARAMS))
+    return _SWEEP
+
+
+def _build_report() -> str:
+    comparisons = _run()
+    series = [
+        FigureSeries(
+            name,
+            {c.workload_name: c.ipc_improvement(name) for c in comparisons},
+        )
+        for name in SYSTEMS[1:]
+    ]
+    return figure_report(
+        "Extension: IPC gain of write pausing (prior art [11]) vs full "
+        "PCMap — overlap beats preemption (paper §VII)",
+        WORKLOADS,
+        series,
+        value_format=percent,
+    )
+
+
+def test_ext_write_pausing(benchmark):
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("ext_write_pausing", report)
+
+    comparisons = _run()
+    for comparison in comparisons:
+        pcmap = comparison.ipc_improvement("rwow-rde")
+        pausing = comparison.ipc_improvement("write-pausing")
+        assert pcmap > pausing, comparison.workload_name
+        assert pcmap > 0

@@ -1,0 +1,69 @@
+"""Figure 1 — how asymmetric writes delay reads in the baseline.
+
+For the twelve single SPEC programs, runs the baseline PCM system with
+asymmetric timing (write = 2x read) and with symmetric timing (write ==
+read), then reports (a) the fraction of reads whose service was delayed
+by a write and (b) the effective read latency normalised to the symmetric
+system.  Paper shape: 11.5-38.1% of reads delayed; latency inflation
+1.2-1.8x.
+"""
+
+from repro.analysis import format_table
+from repro.core.systems import make_system
+from repro.memory.timing import DEFAULT_TIMING
+from repro.sim.experiment import run_workload
+from repro.trace.workloads import SPEC_SINGLES
+
+from benchmarks.common import SWEEP_PARAMS, write_report
+
+_RESULTS = {}
+
+
+def _run() -> dict:
+    if _RESULTS:
+        return _RESULTS
+    asym = make_system("baseline")
+    sym = make_system("baseline", timing=DEFAULT_TIMING.symmetric())
+    for workload in SPEC_SINGLES:
+        a = run_workload(workload, asym, SWEEP_PARAMS)
+        s = run_workload(workload, sym, SWEEP_PARAMS)
+        inflation = (
+            a.mean_read_latency_ns / s.mean_read_latency_ns
+            if s.mean_read_latency_ns
+            else 1.0
+        )
+        _RESULTS[workload.name] = (a.memory.delayed_read_fraction, inflation)
+    return _RESULTS
+
+
+def _build_report() -> str:
+    results = _run()
+    rows = [
+        [name, f"{delayed:.1%}", f"{inflation:.2f}x"]
+        for name, (delayed, inflation) in results.items()
+    ]
+    delayed_avg = sum(d for d, _ in results.values()) / len(results)
+    inflation_avg = sum(i for _, i in results.values()) / len(results)
+    rows.append(["Average", f"{delayed_avg:.1%}", f"{inflation_avg:.2f}x"])
+    return format_table(
+        ["workload", "reads delayed by write", "latency vs symmetric"],
+        rows,
+        title=(
+            "Figure 1: write impact on reads, baseline PCM "
+            "(paper: 11.5-38.1% delayed, 1.2-1.8x inflation)"
+        ),
+    )
+
+
+def test_fig01_write_impact(benchmark):
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("fig01_write_impact", report)
+
+    results = _run()
+    delayed = [d for d, _ in results.values()]
+    inflation = [i for _, i in results.values()]
+    # Writes must measurably delay reads, with per-workload spread.
+    assert max(delayed) > 0.10
+    assert min(delayed) >= 0.0
+    # Asymmetric writes inflate effective read latency on average.
+    assert sum(inflation) / len(inflation) > 1.05

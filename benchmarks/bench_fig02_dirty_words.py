@@ -1,0 +1,73 @@
+"""Figure 2 — dirty-word distribution of cache-line write-backs.
+
+Generates each single-SPEC workload's write-back stream and histograms
+how many 8-byte words each 64-byte write-back actually modifies.  Paper
+shape: 14% (omnetpp) to 52% (cactusADM) of write-backs touch exactly one
+word; 77-99% touch at most half the line; the average line needs ~2.4
+word writes — the idleness PCMap exploits.
+"""
+
+from repro.analysis import format_table
+from repro.trace.record import AccessKind
+from repro.trace.synthetic import SyntheticTraceGenerator
+from repro.trace.workloads import SPEC_SINGLES
+
+from benchmarks.common import write_report
+
+_SAMPLES = 30_000
+_HISTOGRAMS = {}
+
+
+def _run() -> dict:
+    if _HISTOGRAMS:
+        return _HISTOGRAMS
+    for workload in SPEC_SINGLES:
+        generator = SyntheticTraceGenerator(workload, seed=17)
+        histogram = [0] * 9
+        write_backs = 0
+        for record in generator.records():
+            if record.kind is AccessKind.WRITE_BACK:
+                histogram[bin(record.dirty_mask).count("1")] += 1
+                write_backs += 1
+                if write_backs >= _SAMPLES:
+                    break
+        total = sum(histogram)
+        _HISTOGRAMS[workload.name] = [count / total for count in histogram]
+    return _HISTOGRAMS
+
+
+def _build_report() -> str:
+    histograms = _run()
+    rows = []
+    for name, fractions in histograms.items():
+        mean_dirty = sum(i * f for i, f in enumerate(fractions))
+        rows.append(
+            [name]
+            + [f"{f:.1%}" for f in fractions]
+            + [f"{mean_dirty:.2f}"]
+        )
+    return format_table(
+        ["workload"] + [f"{i}w" for i in range(9)] + ["mean"],
+        rows,
+        title=(
+            "Figure 2: fraction of write-backs updating exactly i words "
+            "(paper: 1-word between 14% and 52%; <=4 words 77-99%)"
+        ),
+    )
+
+
+def test_fig02_dirty_words(benchmark):
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("fig02_dirty_words", report)
+
+    histograms = _run()
+    one_word = {name: h[1] for name, h in histograms.items()}
+    # The paper's named anchors.
+    assert min(one_word, key=one_word.get) == "omnetpp"
+    assert max(one_word, key=one_word.get) == "cactusADM"
+    assert 0.10 <= one_word["omnetpp"] <= 0.20
+    assert 0.45 <= one_word["cactusADM"] <= 0.58
+    for name, h in histograms.items():
+        assert 0.72 <= sum(h[:5]) <= 1.0, name
+    means = [sum(i * f for i, f in enumerate(h)) for h in histograms.values()]
+    assert 1.8 <= sum(means) / len(means) <= 3.0

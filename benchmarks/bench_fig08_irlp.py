@@ -1,0 +1,46 @@
+"""Figure 8 — intra-rank-level parallelism (IRLP) per system.
+
+Paper shape: baseline averages ~2.4 (MT below 2); WoW + rotation raise it
+to ~4.5 on average and up to ~7.4; rotating ECC/PCC (RWoW-RDE) beats
+rotating data alone, which beats no rotation.
+"""
+
+from repro.analysis import FigureSeries, figure_report
+from repro.core.systems import SYSTEM_NAMES
+
+from benchmarks.common import (
+    FIGURE_WORKLOADS,
+    figure_sweep,
+    mt_mp_average_rows,
+    write_report,
+)
+
+
+def _build_report() -> str:
+    comparisons = figure_sweep()
+    series = []
+    for name in SYSTEM_NAMES:
+        values = {c.workload_name: c.irlp(name) for c in comparisons}
+        series.append(FigureSeries(name, mt_mp_average_rows(values)))
+    workloads = FIGURE_WORKLOADS + ["Average(MT)", "Average(MP)"]
+    return figure_report(
+        "Figure 8: IRLP during writes "
+        "(paper: baseline ~2.4, RWoW-RDE ~4.5, max 7.4)",
+        workloads,
+        series,
+    )
+
+
+def test_fig08_irlp(benchmark):
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("fig08_irlp", report)
+
+    comparisons = figure_sweep()
+    baseline = [c.irlp("baseline") for c in comparisons]
+    rde = [c.irlp("rwow-rde") for c in comparisons]
+    nr = [c.irlp("rwow-nr") for c in comparisons]
+    # Shape assertions from the paper.
+    assert 1.5 <= sum(baseline) / len(baseline) <= 3.2
+    assert sum(rde) / len(rde) > sum(baseline) / len(baseline) + 0.5
+    assert sum(rde) / len(rde) >= sum(nr) / len(nr) - 0.15
+    assert max(c.results["rwow-rde"].irlp_max for c in comparisons) <= 8.0

@@ -1,0 +1,52 @@
+"""Figure 9 — write throughput normalised to the baseline.
+
+Paper shape: every PCMap variant with WoW improves write throughput; 5 of
+12 workloads exceed 1.2x; RWoW-RDE (rotation of data + ECC/PCC) is the
+best; RoW alone trades a little write throughput for read service.
+"""
+
+from repro.analysis import FigureSeries, figure_report, ratio
+from repro.core.systems import PCMAP_SYSTEM_NAMES
+
+from benchmarks.common import (
+    FIGURE_WORKLOADS,
+    figure_sweep,
+    mt_mp_average_rows,
+    write_report,
+)
+
+
+def _build_report() -> str:
+    comparisons = figure_sweep()
+    series = []
+    for name in PCMAP_SYSTEM_NAMES:
+        values = {
+            c.workload_name: c.write_throughput_ratio(name)
+            for c in comparisons
+        }
+        series.append(FigureSeries(name, mt_mp_average_rows(values)))
+    workloads = FIGURE_WORKLOADS + ["Average(MT)", "Average(MP)"]
+    return figure_report(
+        "Figure 9: write throughput vs baseline "
+        "(paper: WoW systems >1.1x for most, RWoW avg ~1.33x)",
+        workloads,
+        series,
+        value_format=ratio,
+    )
+
+
+def test_fig09_write_throughput(benchmark):
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("fig09_write_throughput", report)
+
+    comparisons = figure_sweep()
+
+    def mean(name):
+        vals = [c.write_throughput_ratio(name) for c in comparisons]
+        return sum(vals) / len(vals)
+
+    # WoW-capable systems improve write throughput on average; full
+    # rotation is the best of them.
+    assert mean("wow-nr") > 0.95
+    assert mean("rwow-rde") > 1.05
+    assert mean("rwow-rde") > mean("rwow-nr")

@@ -1,0 +1,54 @@
+"""Figure 11 — IPC improvement over the baseline.
+
+Paper shape (averages over all workloads): RoW-NR +4.5%, WoW-NR +6.1%,
+RWoW-NR +9.95%, RWoW-RD +13.1%, RWoW-RDE +16.6%; overall +15.6%/+16.7%
+for MP/MT with the full system.
+"""
+
+from repro.analysis import FigureSeries, figure_report, percent
+from repro.core.systems import PCMAP_SYSTEM_NAMES
+
+from benchmarks.common import (
+    FIGURE_WORKLOADS,
+    figure_sweep,
+    mt_mp_average_rows,
+    write_report,
+)
+
+
+def _build_report() -> str:
+    comparisons = figure_sweep()
+    series = []
+    for name in PCMAP_SYSTEM_NAMES:
+        values = {
+            c.workload_name: c.ipc_improvement(name) for c in comparisons
+        }
+        series.append(FigureSeries(name, mt_mp_average_rows(values)))
+    workloads = FIGURE_WORKLOADS + ["Average(MT)", "Average(MP)"]
+    return figure_report(
+        "Figure 11: IPC improvement over baseline "
+        "(paper: row-nr +4.5%, wow-nr +6.1%, rwow-nr +10%, "
+        "rwow-rd +13.1%, rwow-rde +16.6%)",
+        workloads,
+        series,
+        value_format=percent,
+    )
+
+
+def test_fig11_ipc(benchmark):
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("fig11_ipc", report)
+
+    comparisons = figure_sweep()
+
+    def mean(name):
+        vals = [c.ipc_improvement(name) for c in comparisons]
+        return sum(vals) / len(vals)
+
+    # The paper's headline ordering: the full PCMap system wins, single
+    # mechanisms gain least, and every mechanism contributes.
+    assert mean("rwow-rde") > 0.05
+    assert mean("rwow-rde") > mean("row-nr")
+    assert mean("rwow-rde") > mean("wow-nr")
+    assert mean("rwow-rde") >= mean("rwow-nr") - 0.01
+    assert mean("rwow-nr") > 0.0

@@ -1,0 +1,74 @@
+"""Table III — sensitivity to the write:read latency ratio.
+
+The paper holds the write at 120 ns and shrinks the read latency so the
+ratio sweeps 2x..8x.  Shape: RWoW-NR's gain grows steeply with the ratio
+(11.3% -> 24.7%) because longer relative writes leave more room to
+overlap; RWoW-RDE starts higher (16.6%) and grows more gently (24.3%).
+"""
+
+from repro.analysis import format_table, percent
+from repro.core.systems import make_system
+from repro.memory.timing import DEFAULT_TIMING
+from repro.sim.experiment import run_workload
+
+from benchmarks.common import SWEEP_PARAMS, write_report
+
+RATIOS = (2.0, 4.0, 6.0, 8.0)
+WORKLOADS = ("canneal", "MP1", "MP4")
+SYSTEMS = ("rwow-nr", "rwow-rde")
+
+_RESULTS = {}
+
+
+def _run() -> dict:
+    if _RESULTS:
+        return _RESULTS
+    for ratio in RATIOS:
+        timing = DEFAULT_TIMING.with_write_to_read_ratio(ratio)
+        for system_name in ("baseline",) + SYSTEMS:
+            system = make_system(system_name, timing=timing)
+            for workload in WORKLOADS:
+                result = run_workload(workload, system, SWEEP_PARAMS)
+                _RESULTS[(ratio, system_name, workload)] = result.ipc
+    return _RESULTS
+
+
+def _gain(results, ratio, system_name):
+    gains = []
+    for workload in WORKLOADS:
+        base = results[(ratio, "baseline", workload)]
+        gains.append(results[(ratio, system_name, workload)] / base - 1.0)
+    return sum(gains) / len(gains)
+
+
+def _build_report() -> str:
+    results = _run()
+    rows = []
+    for system_name in SYSTEMS:
+        rows.append(
+            [system_name]
+            + [percent(_gain(results, ratio, system_name)) for ratio in RATIOS]
+        )
+    return format_table(
+        ["system"] + [f"{int(r)}x" for r in RATIOS],
+        rows,
+        title=(
+            "Table III: IPC gain vs write:read latency ratio "
+            "(paper: rwow-nr 11.3->24.7%, rwow-rde 16.6->24.3%)"
+        ),
+    )
+
+
+def test_tab3_latency_ratio(benchmark):
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("tab3_latency_ratio", report)
+
+    results = _run()
+    nr_gains = [_gain(results, ratio, "rwow-nr") for ratio in RATIOS]
+    rde_gains = [_gain(results, ratio, "rwow-rde") for ratio in RATIOS]
+    # Gains grow with the ratio for the no-rotation system (the paper's
+    # steep trend), and the full system keeps a positive gain throughout.
+    assert nr_gains[-1] > nr_gains[0]
+    assert all(g > 0 for g in rde_gains)
+    # At the paper's default 2x, full rotation beats no rotation.
+    assert rde_gains[0] > nr_gains[0]

@@ -1,0 +1,60 @@
+"""Shared machinery for the figure/table benchmarks.
+
+The four main figures (8-11) plot the same 12-workload x 6-system sweep
+from different angles, so the sweep is memoised process-wide and each
+benchmark module formats its own view of it.  Every benchmark writes its
+report to ``benchmarks/results/<name>.txt`` (and prints it, visible with
+``pytest -s``); EXPERIMENTS.md captures one reference output per
+experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.sim.experiment import SystemComparison, sweep_workloads
+from repro.sim.simulator import SimulationParams
+from repro.trace.workloads import FIGURE_MP_NAMES, FIGURE_MT_NAMES
+
+#: Workloads plotted in Figures 8-11 (six PARSEC + six SPEC mixes).
+FIGURE_WORKLOADS: List[str] = FIGURE_MT_NAMES + FIGURE_MP_NAMES
+
+#: Run scale for the benchmarks: large enough for steady-state drains,
+#: small enough that the whole harness finishes in minutes.
+SWEEP_PARAMS = SimulationParams(target_requests=4_000)
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_SWEEP_CACHE: Dict[str, List[SystemComparison]] = {}
+
+
+def figure_sweep() -> List[SystemComparison]:
+    """The memoised 12-workload x 6-system sweep behind Figures 8-11."""
+    if "figures" not in _SWEEP_CACHE:
+        _SWEEP_CACHE["figures"] = sweep_workloads(
+            FIGURE_WORKLOADS, params=SWEEP_PARAMS
+        )
+    return _SWEEP_CACHE["figures"]
+
+
+def write_report(name: str, text: str) -> str:
+    """Persist a benchmark's report; returns the path."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def mt_mp_average_rows(values_by_workload: Dict[str, float]) -> Dict[str, float]:
+    """Append Average(MT) / Average(MP) entries like the paper's figures."""
+    mt = [values_by_workload[w] for w in FIGURE_MT_NAMES if w in values_by_workload]
+    mp = [values_by_workload[w] for w in FIGURE_MP_NAMES if w in values_by_workload]
+    extended = dict(values_by_workload)
+    if mt:
+        extended["Average(MT)"] = sum(mt) / len(mt)
+    if mp:
+        extended["Average(MP)"] = sum(mp) / len(mp)
+    return extended

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Wear: PCMap's rotation (chip level) + Start-Gap (line level).
+
+The paper argues (§IV-C2) that rotating data and ECC/PCC words balances
+per-chip wear, and cites Start-Gap [5] as the orthogonal line-level wear
+leveller.  This example measures both:
+
+1. per-chip PCM word-write counts for the fixed vs fully-rotated layouts
+   on a skewed write stream (the rotation claim);
+2. per-line write concentration with and without Start-Gap remapping on
+   a hot-spot stream (the orthogonal mechanism).
+
+Run:  python examples/wear_leveling.py
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.memory.wear import StartGapRemapper
+from repro.sim.experiment import run_workload
+from repro.sim.simulator import SimulationParams
+
+
+def chip_level_rotation() -> None:
+    print("=== Chip-level wear: layout rotation (paper §IV-C2) ===\n")
+    params = SimulationParams(target_requests=3_000)
+    rows = []
+    for system in ("baseline", "rwow-nr", "rwow-rde"):
+        result = run_workload("canneal", system, params)
+        stats = result.memory
+        counts = [
+            stats.chip_word_writes.get(chip, 0)
+            for chip in range(max(stats.chip_word_writes) + 1)
+        ]
+        rows.append(
+            [system]
+            + counts
+            + [f"{stats.chip_write_imbalance():.3f}"]
+        )
+    n_chips = max(len(r) - 2 for r in rows)
+    print(
+        format_table(
+            ["system"] + [f"c{c}" for c in range(n_chips)] + ["CoV"],
+            rows,
+        )
+    )
+    print(
+        "\nFull rotation (rwow-rde) spreads data *and* code-word writes "
+        "evenly across all ten chips — the paper's lifetime argument.\n"
+    )
+
+
+def line_level_start_gap() -> None:
+    print("=== Line-level wear: Start-Gap remapping (paper's [5]) ===\n")
+    rng = random.Random(7)
+    n_lines = 256
+    writes = 20_000
+
+    def hot_spot_stream():
+        # 60% of writes hit 4 hot lines; the rest spread uniformly.
+        for _ in range(writes):
+            if rng.random() < 0.6:
+                yield rng.randrange(4)
+            else:
+                yield rng.randrange(n_lines)
+
+    levelled = StartGapRemapper(n_lines, gap_interval=16)
+    raw = StartGapRemapper(n_lines, gap_interval=10 ** 12)  # never moves
+    stream = list(hot_spot_stream())
+    for line in stream:
+        levelled.on_write(line)
+        raw.on_write(line)
+
+    rows = [
+        [
+            "without Start-Gap",
+            raw.stats.max_line_writes(),
+            f"{raw.stats.imbalance():.1f}",
+            raw.stats.gap_moves,
+        ],
+        [
+            "with Start-Gap",
+            levelled.stats.max_line_writes(),
+            f"{levelled.stats.imbalance():.1f}",
+            levelled.stats.gap_moves,
+        ],
+    ]
+    print(
+        format_table(
+            ["configuration", "max writes to one line", "max/mean", "gap moves"],
+            rows,
+        )
+    )
+    lifetime_gain = (
+        raw.stats.max_line_writes() / levelled.stats.max_line_writes()
+    )
+    print(
+        f"\nStart-Gap cuts the hottest line's writes by "
+        f"{lifetime_gain:.1f}x on this stream — the array endures that "
+        "much longer before its first line wears out."
+    )
+
+
+if __name__ == "__main__":
+    chip_level_rotation()
+    line_level_start_gap()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Workload study: all six evaluated systems across several workloads.
+
+A miniature of the paper's §VI evaluation — runs the six systems of §V on
+a few representative workloads and prints the four figure-style tables
+(IRLP, write throughput, effective read latency, IPC improvement).
+
+Run:  python examples/workload_study.py [workload ...]
+"""
+
+import sys
+
+from repro.analysis import FigureSeries, figure_report, percent, ratio
+from repro.core.systems import PCMAP_SYSTEM_NAMES, SYSTEM_NAMES
+from repro.sim.experiment import sweep_workloads
+from repro.sim.simulator import SimulationParams
+
+DEFAULT_WORKLOADS = ["canneal", "streamcluster", "MP1", "MP4"]
+
+
+def main() -> None:
+    workloads = sys.argv[1:] or DEFAULT_WORKLOADS
+    params = SimulationParams(target_requests=3_000)
+    print(f"Sweeping {len(SYSTEM_NAMES)} systems x {len(workloads)} workloads...")
+    comparisons = sweep_workloads(workloads, params=params)
+
+    irlp = [
+        FigureSeries(name, {c.workload_name: c.irlp(name) for c in comparisons})
+        for name in SYSTEM_NAMES
+    ]
+    print()
+    print(figure_report("IRLP during writes (cf. Figure 8)", workloads, irlp))
+
+    throughput = [
+        FigureSeries(
+            name,
+            {c.workload_name: c.write_throughput_ratio(name) for c in comparisons},
+        )
+        for name in PCMAP_SYSTEM_NAMES
+    ]
+    print()
+    print(
+        figure_report(
+            "Write throughput vs baseline (cf. Figure 9)",
+            workloads,
+            throughput,
+            value_format=lambda v: ratio(v),
+        )
+    )
+
+    latency = [
+        FigureSeries(
+            name,
+            {c.workload_name: c.read_latency_ratio(name) for c in comparisons},
+        )
+        for name in PCMAP_SYSTEM_NAMES
+    ]
+    print()
+    print(
+        figure_report(
+            "Effective read latency vs baseline (cf. Figure 10)",
+            workloads,
+            latency,
+            value_format=lambda v: ratio(v),
+        )
+    )
+
+    ipc = [
+        FigureSeries(
+            name,
+            {c.workload_name: c.ipc_improvement(name) for c in comparisons},
+        )
+        for name in PCMAP_SYSTEM_NAMES
+    ]
+    print()
+    print(
+        figure_report(
+            "IPC improvement over baseline (cf. Figure 11)",
+            workloads,
+            ipc,
+            value_format=lambda v: percent(v),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

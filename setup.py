@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` (or `python setup.py develop`)
+installs the package in editable mode; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Result analysis and report formatting for the benchmark harness."""
+
+from repro.analysis.timeline import occupancy_summary, render_occupancy
+from repro.analysis.report import (
+    FigureSeries,
+    figure_report,
+    format_table,
+    percent,
+    ratio,
+    summarize_result,
+)
+
+__all__ = [
+    "occupancy_summary",
+    "render_occupancy",
+    "FigureSeries",
+    "figure_report",
+    "format_table",
+    "percent",
+    "ratio",
+    "summarize_result",
+]

@@ -1,0 +1,104 @@
+"""Chip-occupancy timeline rendering (Figure-5-style ASCII grids).
+
+Controllers log chip reservations through
+:meth:`repro.memory.rank.RankState.enable_logging`; this module turns the
+logged :class:`~repro.memory.rank.OccupancyEvent` list into a
+one-row-per-chip, one-column-per-time-slice text grid, the visual the
+paper uses to explain RoW and WoW (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.memory.rank import OccupancyEvent
+from repro.sim.engine import ticks_to_ns
+
+#: Mark precedence when several events cover the same cell (write work is
+#: the most interesting, idle the least).
+_PRECEDENCE = {"W": 3, "c": 2, "R": 1, ".": 0}
+
+
+def event_mark(event: OccupancyEvent) -> str:
+    """Grid mark for one event: W=data write, c=code update, R=read."""
+    if event.label == "code-update":
+        return "c"
+    if event.kind == "write":
+        return "W"
+    return "R"
+
+
+def render_occupancy(
+    events: Iterable[OccupancyEvent],
+    n_chips: int,
+    title: str = "",
+    tick_step: int = 250,
+    chip_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Render logged reservations as an ASCII chip-by-time grid.
+
+    ``tick_step`` is the column width in engine ticks (default 25 ns).
+    Events without a known start (``start < 0``) are skipped.
+    """
+    if tick_step < 1:
+        raise ValueError("tick_step must be >= 1")
+    usable = [e for e in events if e.start >= 0 and e.end > e.start]
+    header: List[str] = []
+    if title:
+        header.append(title)
+    if not usable:
+        header.append("(no occupancy recorded)")
+        return "\n".join(header)
+
+    t0 = min(e.start for e in usable)
+    t1 = max(e.end for e in usable)
+    columns = max(1, (t1 - t0 + tick_step - 1) // tick_step)
+    if chip_names is None:
+        chip_names = _default_chip_names(n_chips)
+    width = max(len(name) for name in chip_names)
+
+    header.append(
+        f"(one column = {ticks_to_ns(tick_step):.0f} ns; "
+        "W=data write, c=ECC/PCC update, R=read, .=idle)"
+    )
+    lines = header
+    for chip in range(n_chips):
+        row = []
+        for col in range(columns):
+            window_start = t0 + col * tick_step
+            window_end = window_start + tick_step
+            mark = "."
+            for event in usable:
+                if event.chip != chip:
+                    continue
+                if event.start < window_end and event.end > window_start:
+                    candidate = event_mark(event)
+                    if _PRECEDENCE[candidate] > _PRECEDENCE[mark]:
+                        mark = candidate
+            row.append(mark)
+        lines.append(f"{chip_names[chip].ljust(width)} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def _default_chip_names(n_chips: int) -> List[str]:
+    """chip 0..N-3, then ECC and PCC for a 10-chip PCMap rank."""
+    if n_chips >= 10:
+        names = [f"chip {c}" for c in range(n_chips - 2)]
+        names += ["ECC", "PCC"]
+        return names
+    if n_chips == 9:
+        return [f"chip {c}" for c in range(8)] + ["ECC"]
+    return [f"chip {c}" for c in range(n_chips)]
+
+
+def occupancy_summary(events: Iterable[OccupancyEvent]) -> dict:
+    """Aggregate busy ticks per chip and per mark kind (tests, reports)."""
+    per_chip: dict = {}
+    per_kind = {"W": 0, "c": 0, "R": 0}
+    for event in events:
+        if event.start < 0 or event.end <= event.start:
+            continue
+        duration = event.end - event.start
+        per_chip[event.chip] = per_chip.get(event.chip, 0) + duration
+        per_kind[event_mark(event)] += duration
+    return {"per_chip": per_chip, "per_kind": per_kind}

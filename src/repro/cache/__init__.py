@@ -1,0 +1,20 @@
+"""Cache hierarchy substrate: L1/L2/DRAM-cache with per-word dirty masks."""
+
+from repro.cache.cacheline import CacheLine, line_base, word_index
+from repro.cache.dram_cache import DramCache, DramCacheConfig
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig, HierarchyOutcome
+from repro.cache.set_assoc import CacheStats, Eviction, SetAssociativeCache
+
+__all__ = [
+    "CacheLine",
+    "line_base",
+    "word_index",
+    "DramCache",
+    "DramCacheConfig",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "HierarchyOutcome",
+    "CacheStats",
+    "Eviction",
+    "SetAssociativeCache",
+]

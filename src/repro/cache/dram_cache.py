@@ -1,0 +1,82 @@
+"""The 256 MB DRAM cache (Table I's last cache level before PCM).
+
+PCM main-memory studies interpose a large DRAM cache between the SRAM
+caches and PCM (Table I: 256 MB shared, 8-way, 64 B lines, write-back).
+It is the component that *generates* the write-back stream whose
+dirty-word statistics Figure 2 analyses, so its lines track per-word
+dirty masks (and, in functional mode, real words).
+
+This wraps :class:`SetAssociativeCache` with the Table I geometry and the
+write-back plumbing the hierarchy needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cache.set_assoc import Eviction, SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class DramCacheConfig:
+    """Table I parameters for the DRAM cache."""
+
+    size_bytes: int = 256 * 1024 * 1024
+    associativity: int = 8
+    #: Access latency in CPU cycles (folded into base CPI by the timing
+    #: model; kept for reporting and the full-hierarchy example).
+    access_cycles: int = 100
+
+
+class DramCache:
+    """Last-level (DRAM) cache in front of the PCM main memory."""
+
+    def __init__(
+        self, config: Optional[DramCacheConfig] = None, track_words: bool = False
+    ):
+        self.config = config or DramCacheConfig()
+        self.cache = SetAssociativeCache(
+            self.config.size_bytes,
+            self.config.associativity,
+            name="dram-cache",
+            track_words=track_words,
+        )
+        #: Dirty evictions produced so far (the PCM write-back stream).
+        self.write_backs: int = 0
+
+    # ------------------------------------------------------------------
+    def access(
+        self, address: int, is_write: bool, value: Optional[int] = None
+    ) -> Tuple[bool, List[Eviction]]:
+        """One reference from the level above.
+
+        Returns ``(hit, write_backs)`` where write-backs are the dirty
+        evictions that must be sent to PCM.  A miss implies a PCM line
+        fill (the caller issues the read).
+        """
+        hit, evicted = self.cache.access(address, is_write, value)
+        write_backs: List[Eviction] = []
+        if evicted is not None and evicted.dirty:
+            self.write_backs += 1
+            write_backs.append(evicted)
+        return hit, write_backs
+
+    def flush(self) -> List[Eviction]:
+        """Evict every dirty line (end-of-run write-back drain)."""
+        drained: List[Eviction] = []
+        for set_index in list(self.cache._sets):
+            for entry in list(self.cache._sets[set_index]):
+                if entry.dirty:
+                    line_address = (
+                        entry.tag * self.cache.n_sets + set_index
+                    ) * 64
+                    eviction = self.cache.invalidate(line_address)
+                    if eviction is not None:
+                        self.write_backs += 1
+                        drained.append(eviction)
+        return drained
+
+    @property
+    def stats(self):
+        return self.cache.stats

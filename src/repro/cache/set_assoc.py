@@ -1,0 +1,180 @@
+"""Generic set-associative write-back cache with LRU replacement.
+
+Used for the L1s, the shared L2, and the 256 MB DRAM cache of Table I.
+The model is functional (hit/miss/eviction), not timed — cache hit
+latencies are folded into the core's base CPI (DESIGN.md §5); what the
+memory study needs from the cache stack is the *filtering* of accesses
+and the per-word dirty masks of evicted lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.cacheline import CacheLine, line_base, word_index
+from repro.memory.request import LINE_BYTES, WORDS_PER_LINE
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line pushed out of the cache (write-back when dirty)."""
+
+    address: int        #: line-aligned byte address
+    dirty_mask: int     #: per-word dirty bits (0 == clean eviction)
+    words: Optional[Tuple[int, ...]] = None
+
+    @property
+    def dirty(self) -> bool:
+        return self.dirty_mask != 0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over 64-byte lines."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int,
+        name: str = "cache",
+        track_words: bool = False,
+    ):
+        if size_bytes % (LINE_BYTES * associativity):
+            raise ValueError(
+                f"{name}: size must be a multiple of line x associativity"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.n_sets = size_bytes // (LINE_BYTES * associativity)
+        if self.n_sets < 1:
+            raise ValueError(f"{name}: no sets")
+        self.track_words = track_words
+        self._sets: Dict[int, List[CacheLine]] = {}
+        self._clock = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = line_base(address) // LINE_BYTES
+        return line % self.n_sets, line // self.n_sets
+
+    def _find(self, set_index: int, tag: int) -> Optional[CacheLine]:
+        for entry in self._sets.get(set_index, ()):
+            if entry.valid and entry.tag == tag:
+                return entry
+        return None
+
+    def contains(self, address: int) -> bool:
+        set_index, tag = self._locate(address)
+        return self._find(set_index, tag) is not None
+
+    def line_state(self, address: int) -> Optional[CacheLine]:
+        """The resident line (for tests/introspection), or None."""
+        set_index, tag = self._locate(address)
+        return self._find(set_index, tag)
+
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        address: int,
+        is_write: bool,
+        value: Optional[int] = None,
+    ) -> Tuple[bool, Optional[Eviction]]:
+        """One load/store.  Returns (hit, eviction-on-fill).
+
+        A miss allocates the line (write-allocate) and may evict the LRU
+        victim; the caller turns a dirty eviction into a write-back and a
+        miss into a fill from the next level.
+        """
+        self._clock += 1
+        set_index, tag = self._locate(address)
+        entry = self._find(set_index, tag)
+        evicted: Optional[Eviction] = None
+        hit = entry is not None
+        if entry is None:
+            self.stats.misses += 1
+            evicted = self._fill(set_index, tag)
+            entry = self._find(set_index, tag)
+            assert entry is not None
+        else:
+            self.stats.hits += 1
+        entry.touch(self._clock)
+        if is_write:
+            word = word_index(address)
+            if self.track_words and value is not None:
+                entry.write_word(word, value)
+            else:
+                entry.mark_dirty(word)
+        return hit, evicted
+
+    def _fill(self, set_index: int, tag: int) -> Optional[Eviction]:
+        """Allocate (tag) in the set; returns the eviction if any."""
+        entries = self._sets.setdefault(set_index, [])
+        evicted: Optional[Eviction] = None
+        if len(entries) >= self.associativity:
+            victim = min(entries, key=lambda e: e.last_use)
+            entries.remove(victim)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+            victim_line = (
+                victim.tag * self.n_sets + set_index
+            ) * LINE_BYTES
+            evicted = Eviction(victim_line, victim.dirty_mask, victim.words)
+        words = None
+        if self.track_words:
+            words = tuple([0] * WORDS_PER_LINE)
+        entries.append(CacheLine(tag=tag, words=words, last_use=self._clock))
+        return evicted
+
+    # ------------------------------------------------------------------
+    def install(
+        self, address: int, words: Optional[Tuple[int, ...]] = None
+    ) -> Optional[Eviction]:
+        """Fill a line without an access (e.g. inclusive back-fill)."""
+        self._clock += 1
+        set_index, tag = self._locate(address)
+        if self._find(set_index, tag) is not None:
+            return None
+        return self._fill(set_index, tag)
+
+    def invalidate(self, address: int) -> Optional[Eviction]:
+        """Drop a line; returns its eviction record when it was dirty."""
+        set_index, tag = self._locate(address)
+        entry = self._find(set_index, tag)
+        if entry is None:
+            return None
+        self._sets[set_index].remove(entry)
+        if entry.dirty:
+            self.stats.evictions += 1
+            self.stats.dirty_evictions += 1
+            return Eviction(
+                (tag * self.n_sets + set_index) * LINE_BYTES,
+                entry.dirty_mask,
+                entry.words,
+            )
+        return None
+
+    def resident_lines(self) -> int:
+        return sum(len(entries) for entries in self._sets.values())

@@ -1,0 +1,171 @@
+"""Command-line interface: run simulations without writing a script.
+
+Commands::
+
+    python -m repro list-workloads
+    python -m repro list-systems
+    python -m repro run --workload canneal --system rwow-rde [--requests N]
+    python -m repro compare --workload canneal [--systems a,b,c]
+    python -m repro sweep --workloads canneal,MP1 [--systems ...]
+    python -m repro gen-trace --workload MP1 --count 1000 --out mp1.trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table, percent, ratio
+from repro.core.systems import SYSTEM_NAMES, make_system
+from repro.sim.experiment import compare_systems, run_workload
+from repro.sim.simulator import SimulationParams
+from repro.trace.synthetic import SyntheticTraceGenerator
+from repro.trace.trace_io import save_trace
+from repro.trace.workloads import ALL_WORKLOADS, get_workload
+
+
+def _params(args: argparse.Namespace) -> SimulationParams:
+    return SimulationParams(
+        target_requests=args.requests,
+        seed=args.seed,
+        n_cores=args.cores,
+    )
+
+
+def _result_row(result) -> List[object]:
+    return [
+        result.system_name,
+        f"{result.ipc:.3f}",
+        f"{result.irlp_average:.2f}",
+        f"{result.mean_read_latency_ns:.0f}",
+        f"{result.write_throughput:.1f}",
+        result.memory.row_reads,
+        result.memory.wow_member_writes,
+        result.memory.rollbacks,
+    ]
+
+
+_RESULT_HEADERS = [
+    "system", "IPC", "IRLP", "read lat (ns)", "writes/us",
+    "RoW reads", "WoW writes", "rollbacks",
+]
+
+
+def cmd_list_workloads(_args: argparse.Namespace) -> int:
+    rows = [
+        [w.name, w.kind.value, f"{w.rpki:.2f}", f"{w.wpki:.2f}",
+         f"{w.mean_dirty_words:.2f}", w.description]
+        for w in ALL_WORKLOADS
+    ]
+    print(format_table(
+        ["workload", "suite", "RPKI", "WPKI", "mean dirty", "description"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_list_systems(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in SYSTEM_NAMES + ["write-pausing"]:
+        config = make_system(name)
+        rows.append([name, config.describe().split(": ", 1)[1]])
+    print(format_table(["system", "features"], rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_workload(args.workload, args.system, _params(args))
+    print(format_table(_RESULT_HEADERS, [_result_row(result)],
+                       title=f"workload {args.workload}"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    systems = args.systems.split(",") if args.systems else None
+    comparison = compare_systems(args.workload, systems, _params(args))
+    rows = [_result_row(r) for r in comparison.results.values()]
+    print(format_table(_RESULT_HEADERS, rows, title=f"workload {args.workload}"))
+    if "baseline" in comparison.results:
+        gains = {
+            name: percent(comparison.ipc_improvement(name))
+            for name in comparison.results
+            if name != "baseline"
+        }
+        print("\nIPC improvement over baseline: "
+              + ", ".join(f"{k}={v}" for k, v in gains.items()))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    systems = args.systems.split(",") if args.systems else None
+    for workload in args.workloads.split(","):
+        comparison = compare_systems(workload, systems, _params(args))
+        rows = [_result_row(r) for r in comparison.results.values()]
+        print(format_table(_RESULT_HEADERS, rows, title=f"workload {workload}"))
+        print()
+    return 0
+
+
+def cmd_gen_trace(args: argparse.Namespace) -> int:
+    generator = SyntheticTraceGenerator(
+        get_workload(args.workload), seed=args.seed
+    )
+    count = save_trace(args.out, generator.take(args.count))
+    print(f"wrote {count} records to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PCMap (ISCA 2016) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads").set_defaults(func=cmd_list_workloads)
+    sub.add_parser("list-systems").set_defaults(func=cmd_list_systems)
+
+    def add_common(p):
+        p.add_argument("--requests", type=int, default=4_000,
+                       help="total main-memory requests to simulate")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--cores", type=int, default=8)
+
+    run_p = sub.add_parser("run", help="one workload on one system")
+    run_p.add_argument("--workload", required=True)
+    run_p.add_argument("--system", default="rwow-rde")
+    add_common(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="one workload across systems")
+    cmp_p.add_argument("--workload", required=True)
+    cmp_p.add_argument("--systems", help="comma-separated (default: all six)")
+    add_common(cmp_p)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    sweep_p = sub.add_parser("sweep", help="several workloads across systems")
+    sweep_p.add_argument("--workloads", required=True,
+                         help="comma-separated workload names")
+    sweep_p.add_argument("--systems", help="comma-separated system names")
+    add_common(sweep_p)
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    gen_p = sub.add_parser("gen-trace", help="export a synthetic trace file")
+    gen_p.add_argument("--workload", required=True)
+    gen_p.add_argument("--count", type=int, default=10_000)
+    gen_p.add_argument("--out", required=True)
+    gen_p.add_argument("--seed", type=int, default=1)
+    gen_p.set_defaults(func=cmd_gen_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""PCMap: the paper's contribution — RoW, WoW, rotation, fine-grained writes."""
+
+from repro.core.config import SystemConfig, pcmap_config
+from repro.core.controller import PCMapController
+from repro.core.pausing import WritePausingController
+from repro.core.essential import EssentialWordDetector, EssentialWordStats, diff_words
+from repro.core.rotation import (
+    DataRotatedLayout,
+    FixedLayout,
+    FullyRotatedLayout,
+    RankLayout,
+    make_layout,
+)
+from repro.core.status import DimmStatusRegister, StatusSnapshot
+from repro.core.systems import (
+    PCMAP_SYSTEM_NAMES,
+    SYSTEM_NAMES,
+    all_systems,
+    make_system,
+)
+
+__all__ = [
+    "SystemConfig",
+    "pcmap_config",
+    "PCMapController",
+    "WritePausingController",
+    "EssentialWordDetector",
+    "EssentialWordStats",
+    "diff_words",
+    "DataRotatedLayout",
+    "FixedLayout",
+    "FullyRotatedLayout",
+    "RankLayout",
+    "make_layout",
+    "DimmStatusRegister",
+    "StatusSnapshot",
+    "PCMAP_SYSTEM_NAMES",
+    "SYSTEM_NAMES",
+    "all_systems",
+    "make_system",
+]

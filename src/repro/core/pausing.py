@@ -1,0 +1,193 @@
+"""Write-pausing controller — the prior-art comparator (paper §VII).
+
+Qureshi et al. (HPCA 2010, the paper's [11]) attack the same problem —
+reads stuck behind long PCM writes — by letting reads *preempt* an
+ongoing write: the write is paused at a quantum boundary, the reads are
+served, and the write resumes with a small overhead.  PCMap §VII contrasts
+itself with this line of work (overlap instead of preemption), so this
+repository implements it as an additional baseline.
+
+Model: a coarse write is served in ``pause_quantum`` slices.  At each
+slice boundary, if reads are queued, the write has pause budget left and
+writes are not urgent (no active drain), the write yields the rank for
+roughly two read services and then resumes with a small overhead.  Under
+drain pressure it degenerates to the baseline policy, as in the original
+scheme's write-queue threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.address import DecodedAddress
+from repro.memory.bus import BusDirection
+from repro.memory.controller import MemoryController
+from repro.memory.request import MemoryRequest, ServiceClass
+
+
+@dataclass
+class _PausedWrite:
+    """A write mid-service with array time still owed."""
+
+    request: MemoryRequest
+    decoded: DecodedAddress
+    remaining_ticks: int
+    pauses_used: int
+    deadline: int  #: tick by which the write resumes even under reads
+
+
+class WritePausingController(MemoryController):
+    """Baseline + write pausing (no PCMap mechanisms)."""
+
+    #: Array-time slice between pause opportunities (1/4 write latency,
+    #: mirroring the iteration granularity of the original scheme).
+    PAUSE_QUANTUM_FRACTION = 0.25
+    #: Cycles of overhead to re-ramp the write circuitry on resume.
+    RESUME_OVERHEAD_CYCLES = 4
+    #: Maximum pauses per write (starvation bound).
+    MAX_PAUSES = 4
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._paused: Optional[_PausedWrite] = None
+        self._write_active = False
+        self.pauses_taken = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def _quantum_ticks(self) -> int:
+        return max(
+            1,
+            int(self.timing.array_write_ticks * self.PAUSE_QUANTUM_FRACTION),
+        )
+
+    # ------------------------------------------------------------------
+    def _schedule_once(self) -> bool:
+        """Reads first unless writes are urgent; paused writes resume
+        when the read queue drains.
+
+        As in the original scheme, preemption is disallowed while the
+        write queue is above its high watermark — otherwise incessant
+        reads would starve the writes and back-pressure the cores.
+        """
+        self._update_drain()
+        now = self.engine.now
+        writes_urgent = self.drain
+        if (
+            not writes_urgent
+            and not self.read_q.empty
+            and self._try_issue_read(now)
+        ):
+            return True
+        if self._paused is not None:
+            expired = now >= self._paused.deadline
+            if not writes_urgent and not expired and not self.read_q.empty:
+                # Reads exist; give them the rank until the pause budget
+                # runs out (a pause covers the preempting reads, it is
+                # not an open-ended yield).
+                self._note_wake(self._paused.deadline)
+                return False
+            return self._resume_paused(now)
+        if not self.write_q.empty and not self._write_active:
+            if self._try_issue_write(now):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Segmented coarse write
+    # ------------------------------------------------------------------
+    def _issue_coarse_write(
+        self, req: MemoryRequest, decoded: DecodedAddress, now: int
+    ) -> None:
+        rank = self.ranks[decoded.rank]
+        chips = self._coarse_write_chips(decoded)
+        start = max(now, rank.write_ready_time(chips, decoded.bank))
+        _bus_start, bus_end = self.bus.reserve(BusDirection.WRITE, start)
+        array_start = bus_end
+
+        if req.dirty_count == 0:
+            req.service_class = ServiceClass.SILENT
+            end = array_start + self.timing.array_read_ticks
+            self._open_window(array_start, end)
+            rank.reserve_write(chips, decoded.bank, end, decoded.row, start=array_start)
+            self._finish_write(req, start, end, decoded)
+            return
+
+        total = max(self._word_write_ticks(req, w) for w in req.dirty_words)
+        self._open_window(array_start, array_start + total)
+        for word in req.dirty_words:
+            chip = self.layout.data_chip(decoded.line_address, word)
+            self._record_activity((chip,), array_start, array_start + total)
+            self.stats.record_chip_write(chip)
+        if self.geometry.has_ecc_chip:
+            self.stats.record_chip_write(self.geometry.ecc_chip_index)
+
+        req.start_service = start
+        if self.storage is not None and req.new_words is not None:
+            self.storage.write_line(
+                decoded.line_address, req.new_words, req.dirty_mask
+            )
+        self._write_active = True
+        self._run_segment(req, decoded, array_start, total, pauses_used=0)
+
+    def _run_segment(
+        self,
+        req: MemoryRequest,
+        decoded: DecodedAddress,
+        seg_start: int,
+        remaining: int,
+        pauses_used: int,
+    ) -> None:
+        rank = self.ranks[decoded.rank]
+        chips = self._coarse_write_chips(decoded)
+        quantum = min(self._quantum_ticks, remaining)
+        end = seg_start + quantum
+        rank.log_label = f"Wr-{req.req_id}"
+        rank.reserve_write(chips, decoded.bank, end, decoded.row, start=seg_start)
+
+        def at_boundary() -> None:
+            left = remaining - quantum
+            if left <= 0:
+                self._write_active = False
+                self._complete_write(req)
+                return
+            if (
+                not self.read_q.empty
+                and pauses_used < self.MAX_PAUSES
+                and not self.drain
+            ):
+                # Yield the rank for roughly two read services.
+                pause_budget = 2 * (
+                    self.timing.array_read_ticks + self.timing.read_io_ticks
+                )
+                self._paused = _PausedWrite(
+                    req, decoded, left, pauses_used + 1, end + pause_budget
+                )
+                self.pauses_taken += 1
+                self.engine.schedule_at(end + pause_budget, self._kick)
+                self._kick()
+                return
+            self._run_segment(req, decoded, end, left, pauses_used)
+
+        self.engine.schedule_at(end, at_boundary)
+
+    def _resume_paused(self, now: int) -> bool:
+        paused = self._paused
+        assert paused is not None
+        rank = self.ranks[paused.decoded.rank]
+        chips = self._coarse_write_chips(paused.decoded)
+        ready = rank.write_ready_time(chips, paused.decoded.bank)
+        if ready > now:
+            self._note_wake(ready)
+            return False
+        self._paused = None
+        resume_at = now + self.timing.cycles(self.RESUME_OVERHEAD_CYCLES)
+        self._run_segment(
+            paused.request,
+            paused.decoded,
+            resume_at,
+            paused.remaining_ticks,
+            paused.pauses_used,
+        )
+        return True

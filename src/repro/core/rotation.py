@@ -1,0 +1,172 @@
+"""Word-to-chip layouts: fixed, data-rotated, and fully rotated (PCMap).
+
+The paper's three layouts (§IV-A2, §IV-C2, Figure 6):
+
+* **Fixed** — word ``k`` of every line lives on chip ``k``; ECC on chip 8;
+  PCC (when present) on chip 9.  This is the baseline and the ``-NR``
+  variants.
+* **Data rotation** (``RWoW-RD``) — word ``k`` of the line at address ``A``
+  lives on chip ``(k + A/L) mod 8``.  Successive lines shift by one chip,
+  de-clustering the dirty offsets of successive write-backs.  ECC and PCC
+  stay pinned to chips 8 and 9.
+* **Full rotation** (``RWoW-RDE``) — the ten logical slots (eight data
+  words, ECC, PCC) rotate across the ten physical chips with offset
+  ``A/L mod 10``, RAID-5 style, so the error-code updates are spread too.
+
+All layouts are pure functions of the line address, so the controller
+never needs per-line bookkeeping (paper §IV-C2) — the same property this
+module's property tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.memory.address import MemoryGeometry
+from repro.memory.request import WORDS_PER_LINE
+
+
+class RankLayout:
+    """Base class: maps logical line slots to physical chips."""
+
+    #: Number of physical chips this layout addresses.
+    n_chips: int
+
+    def data_chip(self, line_address: int, word: int) -> int:
+        """Physical chip holding ``word`` of the line."""
+        raise NotImplementedError
+
+    def ecc_chip(self, line_address: int) -> int:
+        """Physical chip holding the line's SECDED word."""
+        raise NotImplementedError
+
+    def pcc_chip(self, line_address: int) -> Optional[int]:
+        """Physical chip holding the line's PCC word (None without PCC)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Derived helpers shared by all layouts
+    # ------------------------------------------------------------------
+    def all_data_chips(self, line_address: int) -> Tuple[int, ...]:
+        """Physical chips of all eight data words, in word order."""
+        return tuple(
+            self.data_chip(line_address, w) for w in range(WORDS_PER_LINE)
+        )
+
+    def dirty_chips(self, line_address: int, dirty_mask: int) -> Tuple[int, ...]:
+        """Physical chips that a write with ``dirty_mask`` must update."""
+        return tuple(
+            self.data_chip(line_address, w)
+            for w in range(WORDS_PER_LINE)
+            if (dirty_mask >> w) & 1
+        )
+
+    def word_of_chip(self, line_address: int, chip: int) -> Optional[int]:
+        """Which data word of the line lives on ``chip`` (None if none)."""
+        for w in range(WORDS_PER_LINE):
+            if self.data_chip(line_address, w) == chip:
+                return w
+        return None
+
+    def read_chips(self, line_address: int) -> Tuple[int, ...]:
+        """Chips involved in a normal coarse read (data + ECC)."""
+        return self.all_data_chips(line_address) + (self.ecc_chip(line_address),)
+
+
+class FixedLayout(RankLayout):
+    """No rotation: word k -> chip k, ECC -> chip 8, PCC -> chip 9."""
+
+    def __init__(self, geometry: MemoryGeometry):
+        self.geometry = geometry
+        self.n_chips = geometry.chips_per_rank
+
+    def data_chip(self, line_address: int, word: int) -> int:
+        if not 0 <= word < WORDS_PER_LINE:
+            raise ValueError(f"word index out of range: {word}")
+        return word
+
+    def ecc_chip(self, line_address: int) -> int:
+        return self.geometry.ecc_chip_index
+
+    def pcc_chip(self, line_address: int) -> Optional[int]:
+        if not self.geometry.has_pcc_chip:
+            return None
+        return self.geometry.pcc_chip_index
+
+
+class DataRotatedLayout(RankLayout):
+    """Data words rotate across the eight data chips; ECC/PCC pinned.
+
+    The rotation offset is ``line_address mod 8`` — the paper expresses it
+    as ``Address mod (8 x L)`` over byte addresses, which reduces to the
+    line index modulo 8.
+    """
+
+    def __init__(self, geometry: MemoryGeometry):
+        self.geometry = geometry
+        self.n_chips = geometry.chips_per_rank
+
+    def data_chip(self, line_address: int, word: int) -> int:
+        if not 0 <= word < WORDS_PER_LINE:
+            raise ValueError(f"word index out of range: {word}")
+        offset = line_address % self.geometry.data_chips
+        return (word + offset) % self.geometry.data_chips
+
+    def ecc_chip(self, line_address: int) -> int:
+        return self.geometry.ecc_chip_index
+
+    def pcc_chip(self, line_address: int) -> Optional[int]:
+        if not self.geometry.has_pcc_chip:
+            return None
+        return self.geometry.pcc_chip_index
+
+
+class FullyRotatedLayout(RankLayout):
+    """All ten slots (8 data + ECC + PCC) rotate across the ten chips.
+
+    Offset ``line_address mod 10`` (the paper's ``Address mod (10 x L)``).
+    Requires a PCC-equipped geometry.
+    """
+
+    ECC_SLOT = WORDS_PER_LINE      #: logical slot 8
+    PCC_SLOT = WORDS_PER_LINE + 1  #: logical slot 9
+
+    def __init__(self, geometry: MemoryGeometry):
+        if not geometry.has_pcc_chip:
+            raise ValueError("full rotation requires the PCC chip")
+        self.geometry = geometry
+        self.n_chips = geometry.chips_per_rank
+        if self.n_chips != WORDS_PER_LINE + 2:
+            raise ValueError(
+                f"full rotation expects 10 chips, geometry has {self.n_chips}"
+            )
+
+    def _chip_of_slot(self, line_address: int, slot: int) -> int:
+        offset = line_address % self.n_chips
+        return (slot + offset) % self.n_chips
+
+    def data_chip(self, line_address: int, word: int) -> int:
+        if not 0 <= word < WORDS_PER_LINE:
+            raise ValueError(f"word index out of range: {word}")
+        return self._chip_of_slot(line_address, word)
+
+    def ecc_chip(self, line_address: int) -> int:
+        return self._chip_of_slot(line_address, self.ECC_SLOT)
+
+    def pcc_chip(self, line_address: int) -> Optional[int]:
+        return self._chip_of_slot(line_address, self.PCC_SLOT)
+
+
+def make_layout(
+    geometry: MemoryGeometry, rotate_data: bool, rotate_ecc: bool
+) -> RankLayout:
+    """Layout factory for the evaluated system variants.
+
+    ``rotate_ecc`` implies full (10-slot) rotation and therefore also
+    rotates the data words, mirroring the paper's RWoW-RDE configuration.
+    """
+    if rotate_ecc:
+        return FullyRotatedLayout(geometry)
+    if rotate_data:
+        return DataRotatedLayout(geometry)
+    return FixedLayout(geometry)

@@ -1,0 +1,108 @@
+"""Named constructors for the six evaluated systems (paper §V).
+
+1. ``baseline``  — read-over-write priority with an 80 % write-drain
+   watermark; coarse (whole-rank) writes; 9-chip ECC DIMM.
+2. ``row-nr``    — RoW only; fixed layout.
+3. ``wow-nr``    — WoW only; fixed layout.
+4. ``rwow-nr``   — RoW + WoW; fixed layout.
+5. ``rwow-rd``   — RoW + WoW; data-word rotation.
+6. ``rwow-rde``  — RoW + WoW; data and ECC/PCC rotation (full PCMap).
+
+All PCMap variants use the 10-chip geometry (8 data + ECC + PCC) because
+RoW's reconstruction requires the PCC chip; ``wow-nr`` keeps the PCC chip
+too so the five PCMap variants differ only in policy, matching the paper's
+controlled comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.config import SystemConfig, pcmap_config
+
+SYSTEM_NAMES: List[str] = [
+    "baseline",
+    "row-nr",
+    "wow-nr",
+    "rwow-nr",
+    "rwow-rd",
+    "rwow-rde",
+]
+
+#: The five systems the figures compare against the baseline.
+PCMAP_SYSTEM_NAMES: List[str] = SYSTEM_NAMES[1:]
+
+
+def make_baseline(**overrides) -> SystemConfig:
+    overrides.setdefault("name", "baseline")
+    return SystemConfig(**overrides)
+
+
+def make_write_pausing(**overrides) -> SystemConfig:
+    """Prior-art comparator: baseline + read-preempts-write (paper [11])."""
+    overrides.setdefault("name", "write-pausing")
+    return SystemConfig(enable_write_pausing=True, **overrides)
+
+
+def make_row_nr(**overrides) -> SystemConfig:
+    overrides.setdefault("name", "row-nr")
+    return pcmap_config(enable_row=True, **overrides)
+
+
+def make_wow_nr(**overrides) -> SystemConfig:
+    overrides.setdefault("name", "wow-nr")
+    return pcmap_config(enable_wow=True, **overrides)
+
+
+def make_rwow_nr(**overrides) -> SystemConfig:
+    overrides.setdefault("name", "rwow-nr")
+    return pcmap_config(enable_row=True, enable_wow=True, **overrides)
+
+
+def make_rwow_rd(**overrides) -> SystemConfig:
+    overrides.setdefault("name", "rwow-rd")
+    return pcmap_config(
+        enable_row=True, enable_wow=True, rotate_data=True, **overrides
+    )
+
+
+def make_rwow_rde(**overrides) -> SystemConfig:
+    overrides.setdefault("name", "rwow-rde")
+    return pcmap_config(
+        enable_row=True,
+        enable_wow=True,
+        rotate_data=True,
+        rotate_ecc=True,
+        **overrides,
+    )
+
+
+_FACTORIES: Dict[str, Callable[..., SystemConfig]] = {
+    "baseline": make_baseline,
+    "write-pausing": make_write_pausing,
+    "row-nr": make_row_nr,
+    "wow-nr": make_wow_nr,
+    "rwow-nr": make_rwow_nr,
+    "rwow-rd": make_rwow_rd,
+    "rwow-rde": make_rwow_rde,
+}
+
+
+def make_system(name: str, **overrides) -> SystemConfig:
+    """Build one of the six evaluated systems by name.
+
+    Keyword overrides are forwarded to the config (e.g. ``timing=...``
+    for the Table III latency-ratio sweep).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown system {name!r}; expected one of {SYSTEM_NAMES}"
+        ) from None
+    return factory(**overrides)
+
+
+def all_systems(**overrides) -> List[SystemConfig]:
+    """All six systems with shared overrides applied."""
+    return [make_system(name, **overrides) for name in SYSTEM_NAMES]

@@ -1,0 +1,7 @@
+"""Trace-driven CPU model: cores, multicore wrapper, rollback accounting."""
+
+from repro.cpu.core import CoreParams, TraceCore
+from repro.cpu.multicore import Multicore
+from repro.cpu.rollback import RollbackModel
+
+__all__ = ["CoreParams", "TraceCore", "Multicore", "RollbackModel"]

@@ -1,0 +1,40 @@
+"""Rollback cost model for RoW's deferred verification (paper §IV-B3).
+
+When a RoW read's deferred SECDED check fails after the CPU has already
+consumed the speculatively-returned data, the core must roll back to the
+consuming instruction and re-execute.  The paper measures this cost as the
+IPC difference between an "always faulty" system (every early-consumed RoW
+read rolls back) and a "never faulty" one (Table IV, up to 4.6 %).
+
+The model charges a fixed penalty per rollback: a pipeline flush plus the
+re-fetch of the corrected line from the controller's buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RollbackModel:
+    """Penalty accounting for one core."""
+
+    #: CPU cycles to flush the pipeline and restart at the faulted load.
+    flush_cycles: int = 40
+    #: CPU cycles to re-obtain the corrected data (it is already present
+    #: in the controller after verification, so no array access is paid).
+    refetch_cycles: int = 60
+
+    rollbacks: int = 0
+    penalty_cycles_total: int = 0
+
+    @property
+    def penalty_cycles(self) -> int:
+        """Penalty charged per rollback."""
+        return self.flush_cycles + self.refetch_cycles
+
+    def on_rollback(self) -> int:
+        """Record one rollback; returns the CPU-cycle penalty to apply."""
+        self.rollbacks += 1
+        self.penalty_cycles_total += self.penalty_cycles
+        return self.penalty_cycles

@@ -1,0 +1,155 @@
+"""Physical address decomposition for the PCM main memory.
+
+The paper's system (Table I) is 8 GB across 4 channels, one rank per
+channel, 8 banks per rank, 8 KB rows.  Line addresses are interleaved
+channel-first so consecutive lines spread over channels, then column
+within a row, then bank, then row — the conventional open-page-friendly
+mapping used by DRAMSim2-style simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.request import LINE_BYTES
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """Coordinates of one cache line inside the memory system."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+    line_address: int
+
+    def bank_key(self) -> tuple:
+        """Hashable (rank, bank) pair within a channel."""
+        return (self.rank, self.bank)
+
+
+@dataclass(frozen=True)
+class MemoryGeometry:
+    """Structural parameters of the memory system."""
+
+    n_channels: int = 4
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    row_bytes: int = 8192
+    capacity_bytes: int = 8 * 1024 ** 3
+
+    #: Data chips per rank (the paper's x8 DIMM).
+    data_chips: int = 8
+    #: True when the rank carries a SECDED ECC chip (chip 8).
+    has_ecc_chip: bool = True
+    #: True when the rank carries the PCMap PCC chip (chip 9).
+    has_pcc_chip: bool = False
+
+    def __post_init__(self) -> None:
+        if self.row_bytes % LINE_BYTES:
+            raise ValueError("row size must be a multiple of the line size")
+        for name in ("n_channels", "ranks_per_channel", "banks_per_rank"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def chips_per_rank(self) -> int:
+        """Total physical chips in a rank (data + ECC + PCC)."""
+        return self.data_chips + int(self.has_ecc_chip) + int(self.has_pcc_chip)
+
+    @property
+    def ecc_chip_index(self) -> int:
+        """Physical index of the fixed ECC chip (no-rotation layouts)."""
+        if not self.has_ecc_chip:
+            raise ValueError("geometry has no ECC chip")
+        return self.data_chips
+
+    @property
+    def pcc_chip_index(self) -> int:
+        """Physical index of the fixed PCC chip (no-rotation layouts)."""
+        if not self.has_pcc_chip:
+            raise ValueError("geometry has no PCC chip")
+        return self.data_chips + int(self.has_ecc_chip)
+
+    @property
+    def lines_per_row(self) -> int:
+        return self.row_bytes // LINE_BYTES
+
+    @property
+    def total_lines(self) -> int:
+        return self.capacity_bytes // LINE_BYTES
+
+    @property
+    def rows_per_bank(self) -> int:
+        lines_per_channel = self.total_lines // self.n_channels
+        lines_per_bank = lines_per_channel // (
+            self.ranks_per_channel * self.banks_per_rank
+        )
+        return max(1, lines_per_bank // self.lines_per_row)
+
+
+class AddressMapper:
+    """Maps physical byte addresses to (channel, rank, bank, row, column).
+
+    Interleave order (low to high bits above the 64 B line offset):
+    channel | column | bank | rank | row.
+    """
+
+    def __init__(self, geometry: MemoryGeometry):
+        self.geometry = geometry
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Decode a byte address.  The address must be line aligned."""
+        if address % LINE_BYTES:
+            raise ValueError(f"address {address:#x} not line aligned")
+        if not 0 <= address < self.geometry.capacity_bytes:
+            raise ValueError(
+                f"address {address:#x} outside capacity "
+                f"{self.geometry.capacity_bytes:#x}"
+            )
+        geo = self.geometry
+        line = address // LINE_BYTES
+        rest, channel = divmod(line, geo.n_channels)
+        rest, column = divmod(rest, geo.lines_per_row)
+        rest, bank = divmod(rest, geo.banks_per_rank)
+        row, rank = divmod(rest, geo.ranks_per_channel)
+        return DecodedAddress(
+            channel=channel,
+            rank=rank,
+            bank=bank,
+            row=row,
+            column=column,
+            line_address=line,
+        )
+
+    def encode(
+        self, channel: int, rank: int, bank: int, row: int, column: int
+    ) -> int:
+        """Inverse of :meth:`decode`; returns the byte address."""
+        geo = self.geometry
+        for value, limit, name in (
+            (channel, geo.n_channels, "channel"),
+            (rank, geo.ranks_per_channel, "rank"),
+            (bank, geo.banks_per_rank, "bank"),
+            (column, geo.lines_per_row, "column"),
+        ):
+            if not 0 <= value < limit:
+                raise ValueError(f"{name} {value} out of range [0, {limit})")
+        line = row
+        line = line * geo.ranks_per_channel + rank
+        line = line * geo.banks_per_rank + bank
+        line = line * geo.lines_per_row + column
+        line = line * geo.n_channels + channel
+        address = line * LINE_BYTES
+        if address >= geo.capacity_bytes:
+            raise ValueError("encoded address exceeds capacity")
+        return address
+
+
+#: Paper Table I geometry for the baseline (8 data chips + ECC).
+BASELINE_GEOMETRY = MemoryGeometry()
+
+#: PCMap geometry: ten chips per rank (8 data + ECC + PCC).
+PCMAP_GEOMETRY = MemoryGeometry(has_pcc_chip=True)

@@ -1,0 +1,412 @@
+"""Baseline PCM memory controller (paper §II-B).
+
+One controller owns one 64/72-bit channel: a read queue, a write queue,
+the rank resource state, and the shared data bus.  Scheduling policy:
+
+* **Read-over-write priority** — reads are serviced FR-FCFS (row hits
+  first, then oldest).  Writes buffer in the write queue.
+* **Watermark drain** — once the write queue is more than ``alpha`` = 80 %
+  full, the controller turns the bus around and drains writes (oldest
+  first) until the queue falls below the low watermark; reads wait.
+* **Opportunistic writes** — when the read queue is empty, queued writes
+  are issued even below the watermark.
+
+Writes are *coarse*: the whole rank (all data chips + ECC) is reserved for
+the write's duration, even though differential writes mean only the dirty
+chips do array work — this is exactly the idleness PCMap attacks, and the
+IRLP recorder measures it.
+
+The controller is event-driven: ``_kick`` runs whenever a request arrives
+or a resource frees, issues everything that can start *now*, and arms a
+wake-up at the earliest future time anything could start.
+:class:`repro.core.controller.PCMapController` subclasses this and
+replaces only the write-issue path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.memory.address import AddressMapper, DecodedAddress
+from repro.memory.bus import BusDirection, ChannelBus
+from repro.memory.queues import RequestQueue, WriteQueue
+from repro.memory.rank import RankState
+from repro.memory.request import (
+    MemoryRequest,
+    RequestKind,
+    ServiceClass,
+    WORDS_PER_LINE,
+)
+from repro.memory.storage import MemoryStorage
+from repro.memory.timing import WriteLatencyMode
+from repro.sim.engine import Engine
+from repro.sim.metrics import IrlpRecorder, MemoryStats, WriteWindow
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.core.config import SystemConfig
+
+
+class MemoryController:
+    """Scheduler and resource manager for one memory channel."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: "SystemConfig",
+        channel_id: int = 0,
+        storage: Optional[MemoryStorage] = None,
+        seed: int = 1,
+    ):
+        # Runtime imports: repro.core builds on this module, so importing
+        # its helpers at module scope would create an import cycle.
+        from repro.core.essential import EssentialWordDetector
+        from repro.core.rotation import make_layout
+
+        self.engine = engine
+        self.config = config
+        self.timing = config.timing
+        self.geometry = config.geometry
+        self.channel_id = channel_id
+        self.mapper = AddressMapper(config.geometry)
+        self.layout = make_layout(
+            config.geometry, config.rotate_data, config.rotate_ecc
+        )
+        self.read_q = RequestQueue(
+            config.read_queue_capacity, name=f"ch{channel_id}-rq"
+        )
+        self.write_q = WriteQueue(
+            config.write_queue_capacity,
+            config.drain_high_watermark,
+            config.drain_low_watermark,
+            name=f"ch{channel_id}-wq",
+        )
+        self.ranks: List[RankState] = [
+            RankState(
+                config.timing,
+                config.geometry.chips_per_rank,
+                config.geometry.banks_per_rank,
+            )
+            for _ in range(config.geometry.ranks_per_channel)
+        ]
+        self.bus = ChannelBus(config.timing, config.geometry.chips_per_rank)
+        self.storage = storage
+        self.detector = EssentialWordDetector(storage)
+        self.stats = MemoryStats()
+        self.irlp = IrlpRecorder()
+        self.rng = random.Random(seed * 7919 + channel_id)
+
+        self.drain = False
+        self._wake_handle = None
+        self._wake_time: Optional[int] = None
+        self._open_windows: List[WriteWindow] = []
+        self._in_kick = False
+
+    # ==================================================================
+    # External interface
+    # ==================================================================
+    def can_accept(self, kind: RequestKind) -> bool:
+        queue = self.read_q if kind is RequestKind.READ else self.write_q
+        return not queue.full
+
+    def wait_for_space(self, kind: RequestKind, callback) -> None:
+        queue = self.read_q if kind is RequestKind.READ else self.write_q
+        queue.wait_for_space(callback)
+
+    def submit(self, request: MemoryRequest) -> None:
+        """Accept a request; raises when the target queue is full."""
+        request.arrival = self.engine.now
+        if request.is_read:
+            if self._try_forward_read(request):
+                return
+            self.read_q.push(request)
+            if self.drain:
+                request.delayed_by_write = True
+        else:
+            self.detector.detect(request)
+            self.stats.record_write(request.dirty_count)
+            self.write_q.push(request)
+        self._kick()
+
+    @property
+    def idle(self) -> bool:
+        """True when both queues are empty (no pending work)."""
+        return self.read_q.empty and self.write_q.empty
+
+    # ==================================================================
+    # Scheduling loop
+    # ==================================================================
+    def _kick(self) -> None:
+        if self._in_kick:
+            return
+        self._in_kick = True
+        try:
+            self._wake_time = None
+            self._prune_windows()
+            while self._schedule_once():
+                pass
+            self._arm_wake()
+        finally:
+            self._in_kick = False
+
+    def _schedule_once(self) -> bool:
+        """Issue at most one service; returns True when progress was made."""
+        self._update_drain()
+        now = self.engine.now
+        if self.drain:
+            # Drain mode: writes only; reads wait (the baseline policy the
+            # paper's Figure 1 quantifies).
+            if not self.read_q.empty:
+                for read in self.read_q:
+                    read.delayed_by_write = True
+            return self._try_issue_write(now)
+        if not self.read_q.empty:
+            return self._try_issue_read(now)
+        if not self.write_q.empty:
+            return self._try_issue_write(now)
+        return False
+
+    def _update_drain(self) -> None:
+        if not self.drain and self.write_q.above_high_watermark:
+            self.drain = True
+            self.stats.drain_entries += 1
+        elif self.drain and self.write_q.below_low_watermark:
+            self.drain = False
+
+    # ------------------------------------------------------------------
+    # Wake management
+    # ------------------------------------------------------------------
+    def _note_wake(self, time: int) -> None:
+        if time <= self.engine.now:
+            time = self.engine.now + 1
+        if self._wake_time is None or time < self._wake_time:
+            self._wake_time = time
+
+    def _arm_wake(self) -> None:
+        if self._wake_time is None:
+            return
+        if self._wake_handle is not None and not self._wake_handle.cancelled:
+            if self._wake_handle.time <= self._wake_time:
+                return
+            self._wake_handle.cancel()
+        self._wake_handle = self.engine.schedule_at(self._wake_time, self._kick)
+
+    # ==================================================================
+    # Read path
+    # ==================================================================
+    def _try_forward_read(self, req: MemoryRequest) -> bool:
+        """Serve a read from the write queue when the line is buffered.
+
+        A read that matches a queued (or in-flight) write must observe the
+        write's data; the controller forwards it from its buffers at SRAM
+        speed instead of touching the PCM array.
+        """
+        matches = [
+            w for w in self.write_q if w.line_address == req.line_address
+        ]
+        if not matches:
+            return False
+        if self.storage is not None:
+            # In-flight writes already committed to the functional store;
+            # overlay the still-pending ones in queue (FIFO) order.
+            words = list(self.storage.read_line(req.line_address).words)
+            for write in matches:
+                if write.start_service >= 0 or write.new_words is None:
+                    continue
+                for w in range(WORDS_PER_LINE):
+                    if (write.dirty_mask >> w) & 1:
+                        words[w] = write.new_words[w]
+            req.data_words = tuple(words)
+        self.stats.forwarded_reads += 1
+        end = self.engine.now + self.timing.read_io_ticks
+        self.engine.schedule_at(end, lambda: self._complete_read(req))
+        return True
+
+    def _try_issue_read(self, now: int) -> bool:
+        """FR-FCFS over the read queue; returns True if a read was issued."""
+        best: Optional[MemoryRequest] = None
+        best_hit = False
+        earliest_future: Optional[int] = None
+        for req in self.read_q:
+            decoded = self.mapper.decode(req.address)
+            rank = self.ranks[decoded.rank]
+            chips = self.layout.read_chips(decoded.line_address)
+            ready = rank.read_ready_time(chips, decoded.bank)
+            if ready > now:
+                if earliest_future is None or ready < earliest_future:
+                    earliest_future = ready
+                continue
+            hit = rank.row_hit(chips, decoded.bank, decoded.row)
+            if best is None or (hit and not best_hit):
+                best, best_hit = req, hit
+                if hit:
+                    break  # row hit + oldest-first: good enough
+        if best is None:
+            if earliest_future is not None:
+                self._note_wake(earliest_future)
+            return False
+        self._issue_read(best, now)
+        return True
+
+    def _issue_read(self, req: MemoryRequest, now: int) -> None:
+        decoded = self.mapper.decode(req.address)
+        rank = self.ranks[decoded.rank]
+        chips = self.layout.read_chips(decoded.line_address)
+        start = max(now, rank.read_ready_time(chips, decoded.bank))
+        activation = rank.activation_ticks(chips, decoded.bank, decoded.row)
+        if activation == 0:
+            self.stats.row_buffer_hits += 1
+        else:
+            self.stats.row_buffer_misses += 1
+        cas_ready = start + activation + self.timing.cycles(self.timing.tCL)
+        _bus_start, bus_end = self.bus.reserve(BusDirection.READ, cas_ready)
+        rank.log_label = f"Rd-{req.req_id}"
+        rank.reserve_read(chips, decoded.bank, bus_end, decoded.row, start=start)
+
+        req.start_service = start
+        if not req.delayed_by_write:
+            req.delayed_by_write = any(
+                rank.chip_write_busy_until(c) > req.arrival for c in chips
+            )
+        data_chips = self.layout.all_data_chips(decoded.line_address)
+        self._record_activity(data_chips, start, bus_end)
+        if self.storage is not None:
+            req.data_words = self.storage.read_line(decoded.line_address).words
+        self.read_q.remove(req)
+        self.engine.schedule_at(bus_end, lambda: self._complete_read(req))
+
+    def _complete_read(self, req: MemoryRequest) -> None:
+        req.complete(self.engine.now)
+        self.stats.record_read(req.effective_latency, req.delayed_by_write)
+        self._kick()
+
+    # ==================================================================
+    # Write path (baseline: coarse, whole-rank writes, oldest first)
+    # ==================================================================
+    def _try_issue_write(self, now: int) -> bool:
+        head = next(
+            (req for req in self.write_q if req.start_service < 0), None
+        )
+        if head is None:
+            return False
+        decoded = self.mapper.decode(head.address)
+        rank = self.ranks[decoded.rank]
+        chips = self._coarse_write_chips(decoded)
+        ready = rank.write_ready_time(chips, decoded.bank)
+        if ready > now:
+            self._note_wake(ready)
+            return False
+        self._issue_coarse_write(head, decoded, now)
+        return True
+
+    def _coarse_write_chips(self, decoded: DecodedAddress) -> Tuple[int, ...]:
+        """All chips a baseline write reserves (every data chip + ECC)."""
+        chips = tuple(range(self.geometry.data_chips))
+        if self.geometry.has_ecc_chip:
+            chips += (self.geometry.ecc_chip_index,)
+        return chips
+
+    def _issue_coarse_write(
+        self, req: MemoryRequest, decoded: DecodedAddress, now: int
+    ) -> None:
+        rank = self.ranks[decoded.rank]
+        chips = self._coarse_write_chips(decoded)
+        start = max(now, rank.write_ready_time(chips, decoded.bank))
+        _bus_start, bus_end = self.bus.reserve(BusDirection.WRITE, start)
+        # The word-write latency is all-inclusive: the differential
+        # write's internal read-compare happens within it (the paper's
+        # "write = 2x read" covers the whole operation; cf. Figure 5).
+        array_start = bus_end
+
+        if req.dirty_count == 0:
+            # Silent store: the chips' read-before-write finds nothing to
+            # change; only the compare (an array read) is paid.  The
+            # zero-activity window keeps silent write-backs in the IRLP
+            # average, matching the paper's 2.37 baseline derivation.
+            req.service_class = ServiceClass.SILENT
+            end = array_start + self.timing.array_read_ticks
+            self._open_window(array_start, end)
+        else:
+            word_ticks = [
+                self._word_write_ticks(req, w) for w in req.dirty_words
+            ]
+            end = array_start + max(word_ticks)
+            self._open_window(array_start, end)
+            for word, ticks in zip(req.dirty_words, word_ticks):
+                chip = self.layout.data_chip(decoded.line_address, word)
+                self._record_activity((chip,), array_start, array_start + ticks)
+                self.stats.record_chip_write(chip)
+            if self.geometry.has_ecc_chip:
+                self.stats.record_chip_write(self.geometry.ecc_chip_index)
+        rank.log_label = f"Wr-{req.req_id}"
+        rank.reserve_write(chips, decoded.bank, end, decoded.row, start=array_start)
+        self._finish_write(req, start, end, decoded)
+
+    def _finish_write(
+        self,
+        req: MemoryRequest,
+        start: int,
+        end: int,
+        decoded: DecodedAddress,
+    ) -> None:
+        """Common write issue: storage commit + completion event.
+
+        The write-queue entry is retained until completion — the
+        controller must hold the data until the array (and its ECC/PCC
+        updates) committed, so queue occupancy reflects in-flight work
+        and back-pressure is physical.
+        """
+        req.start_service = start
+        if self.storage is not None and req.new_words is not None:
+            self.storage.write_line(
+                decoded.line_address, req.new_words, req.dirty_mask
+            )
+        self.engine.schedule_at(end, lambda: self._complete_write(req))
+
+    def _complete_write(self, req: MemoryRequest) -> None:
+        self.write_q.remove(req)
+        req.complete(self.engine.now)
+        self._kick()
+
+    # ==================================================================
+    # Shared helpers
+    # ==================================================================
+    def _word_write_ticks(self, req: MemoryRequest, word: int) -> int:
+        """Array time to write one dirty word on its chip."""
+        timing = self.timing
+        if timing.write_mode is WriteLatencyMode.FIXED:
+            return timing.array_write_ticks
+        # SET_RESET: a word with any 0->1 transition needs the slow SET.
+        if req.old_words is not None and req.new_words is not None:
+            old, new = req.old_words[word], req.new_words[word]
+            needs_set = bool(new & ~old)
+        else:
+            # Statistical mode: deterministic pseudo-random draw per
+            # (line, word) so re-runs are reproducible.
+            draw = hash((req.line_address, word)) & 0xFFFF
+            needs_set = draw < int(0.7 * 0x10000)
+        if needs_set:
+            return timing.array_write_set_ticks
+        return timing.array_write_reset_ticks
+
+    def _open_window(self, start: int, end: int) -> WriteWindow:
+        window = self.irlp.open_window(start, end)
+        self._open_windows.append(window)
+        return window
+
+    def _prune_windows(self) -> None:
+        now = self.engine.now
+        self._open_windows = [w for w in self._open_windows if w.end > now]
+
+    def _record_activity(
+        self, chips: Tuple[int, ...], start: int, end: int
+    ) -> None:
+        """Attribute data-chip activity to the open write windows.
+
+        Windows grow (``absorb``) after creation, so no span filtering
+        happens here; ``WriteWindow.irlp`` clips intervals to the final
+        span, making out-of-window contributions vanish.
+        """
+        for window in self._open_windows:
+            for chip in chips:
+                window.add_activity(chip, start, end)

@@ -1,0 +1,121 @@
+"""Read and write request queues with watermark-based drain policy.
+
+Memory controllers buffer write-backs and only drain them in bursts: once
+the write queue is more than ``drain_high`` full the controller switches
+the bus around and services writes until the queue falls below
+``drain_low`` (paper §II-B, with alpha = 80 %).  The queue object owns the
+thresholds; the controller owns the mode flag.
+
+Queues have finite capacity (Table I: 32-entry write queue, 8-entry read
+queue per controller).  ``offer`` rejects requests when full so the CPU
+model can apply back-pressure; waiters are notified when space frees up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.memory.request import MemoryRequest
+
+
+class RequestQueue:
+    """Bounded FIFO-ordered request queue with free-space notification."""
+
+    def __init__(self, capacity: int, name: str = "queue"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._entries: List[MemoryRequest] = []
+        self._space_waiters: List[Callable[[], None]] = []
+        #: Peak occupancy seen (for reporting).
+        self.high_water = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction in [0, 1]."""
+        return len(self._entries) / self.capacity
+
+    # ------------------------------------------------------------------
+    def offer(self, request: MemoryRequest) -> bool:
+        """Append ``request`` if space allows; returns success."""
+        if self.full:
+            return False
+        self._entries.append(request)
+        self.high_water = max(self.high_water, len(self._entries))
+        return True
+
+    def push(self, request: MemoryRequest) -> None:
+        """Append ``request``; raises if the queue is full."""
+        if not self.offer(request):
+            raise OverflowError(f"{self.name} full (capacity {self.capacity})")
+
+    def remove(self, request: MemoryRequest) -> None:
+        """Remove a specific entry (used when a request is issued)."""
+        self._entries.remove(request)
+        self._notify_space()
+
+    def oldest(self) -> Optional[MemoryRequest]:
+        """Oldest entry, or ``None`` when empty."""
+        return self._entries[0] if self._entries else None
+
+    def entries(self) -> List[MemoryRequest]:
+        """Snapshot of queued entries in arrival order."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def wait_for_space(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to fire once when space becomes available."""
+        self._space_waiters.append(callback)
+
+    def _notify_space(self) -> None:
+        if self.full:
+            return
+        waiters, self._space_waiters = self._space_waiters, []
+        for waiter in waiters:
+            waiter()
+
+
+class WriteQueue(RequestQueue):
+    """Write queue with the drain watermarks attached."""
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        drain_high: float = 0.8,
+        drain_low: float = 0.25,
+        name: str = "write-queue",
+    ):
+        super().__init__(capacity, name)
+        if not 0.0 <= drain_low < drain_high <= 1.0:
+            raise ValueError(
+                f"watermarks must satisfy 0 <= low < high <= 1, "
+                f"got low={drain_low} high={drain_high}"
+            )
+        self.drain_high = drain_high
+        self.drain_low = drain_low
+
+    @property
+    def above_high_watermark(self) -> bool:
+        """True when a drain should start (queue > alpha full)."""
+        return self.occupancy > self.drain_high
+
+    @property
+    def below_low_watermark(self) -> bool:
+        """True when an active drain should stop."""
+        return self.occupancy <= self.drain_low

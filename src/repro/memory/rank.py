@@ -1,0 +1,200 @@
+"""Rank resource model: per-chip, per-bank occupancy and row-buffer state.
+
+The central modelling decision (DESIGN.md §5): a PCM chip's write circuitry
+is a single-server resource — while a chip is array-writing, it can serve
+no other access in *any* bank (this is the premise of the paper: "from the
+read queue perspective, these chips are not available as if they are
+faulty", §IV-B).  Reads, on the other hand, overlap across banks of a chip
+exactly as in DRAM.
+
+Concretely, every chip tracks
+
+* ``write_busy_until`` — exclusive across the whole chip, set by array
+  writes (data words, ECC/PCC updates);
+* per-bank ``array_busy_until`` — set by reads and writes touching that
+  bank of the chip;
+* per-bank ``open_row`` — the row currently latched in the row buffer.
+
+Reservation methods return nothing; callers first query ``*_ready_time``
+to decide when an operation may start, then reserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.memory.timing import TimingParams
+
+
+@dataclass(frozen=True)
+class OccupancyEvent:
+    """One logged chip reservation (for timelines and debugging)."""
+
+    kind: str        #: "read" or "write"
+    chip: int
+    bank: int
+    start: int       #: tick the work begins (-1 when unknown)
+    end: int         #: tick the chip frees
+    label: str = ""  #: request tag supplied by the controller
+
+
+class ChipState:
+    """Occupancy and row-buffer state of one physical PCM chip."""
+
+    __slots__ = ("write_busy_until", "array_busy_until", "open_row")
+
+    def __init__(self, n_banks: int):
+        self.write_busy_until = 0
+        self.array_busy_until: List[int] = [0] * n_banks
+        self.open_row: List[Optional[int]] = [None] * n_banks
+
+    def read_ready(self, bank: int) -> int:
+        """Earliest tick a read may start on ``bank`` of this chip."""
+        return max(self.write_busy_until, self.array_busy_until[bank])
+
+    def write_ready(self, bank: int) -> int:
+        """Earliest tick an array write may start on ``bank``.
+
+        The chip's write circuitry is exclusive with *all* array activity
+        (the premise that makes a writing chip unavailable to reads also
+        bars starting a write under an in-flight read on any bank).
+        """
+        return max(self.write_busy_until, max(self.array_busy_until))
+
+    def reserve_read(self, bank: int, end: int, row: Optional[int]) -> None:
+        """Occupy the bank's array until ``end``; latch ``row`` if given."""
+        self.array_busy_until[bank] = max(self.array_busy_until[bank], end)
+        if row is not None:
+            self.open_row[bank] = row
+
+    def reserve_write(self, bank: int, end: int, row: Optional[int]) -> None:
+        """Occupy the chip's write circuitry (all banks) until ``end``."""
+        self.write_busy_until = max(self.write_busy_until, end)
+        self.array_busy_until[bank] = max(self.array_busy_until[bank], end)
+        if row is not None:
+            self.open_row[bank] = row
+
+
+class RankState:
+    """All chips of one rank plus helpers for multi-chip operations."""
+
+    def __init__(self, timing: TimingParams, n_chips: int, n_banks: int):
+        self.timing = timing
+        self.n_chips = n_chips
+        self.n_banks = n_banks
+        self.chips: List[ChipState] = [ChipState(n_banks) for _ in range(n_chips)]
+        #: When set (e.g. by the timeline example), every reservation is
+        #: appended here as an :class:`OccupancyEvent`.
+        self.occupancy_log: Optional[List[OccupancyEvent]] = None
+        #: Label applied to logged events; controllers set it per request.
+        self.log_label: str = ""
+
+    def enable_logging(self) -> List[OccupancyEvent]:
+        """Turn on occupancy logging; returns the (live) event list."""
+        self.occupancy_log = []
+        return self.occupancy_log
+
+    def _log(self, kind: str, chip: int, bank: int, start: int, end: int) -> None:
+        if self.occupancy_log is not None:
+            self.occupancy_log.append(
+                OccupancyEvent(kind, chip, bank, start, end, self.log_label)
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def read_ready_time(self, chips: Iterable[int], bank: int) -> int:
+        """Earliest tick a striped read over ``chips`` may start."""
+        return max(self.chips[c].read_ready(bank) for c in chips)
+
+    def write_ready_time(self, chips: Iterable[int], bank: int) -> int:
+        """Earliest tick a (multi-chip) write may start."""
+        return max(self.chips[c].write_ready(bank) for c in chips)
+
+    def chip_write_busy_until(self, chip: int) -> int:
+        return self.chips[chip].write_busy_until
+
+    def busy_chips_at(self, time: int) -> Tuple[int, ...]:
+        """Chips whose write circuitry is busy at ``time``.
+
+        This is exactly what the PCMap controller learns by polling the
+        DIMM status register (paper §IV-D1).
+        """
+        return tuple(
+            c for c in range(self.n_chips)
+            if self.chips[c].write_busy_until > time
+        )
+
+    def row_hit(self, chips: Iterable[int], bank: int, row: int) -> bool:
+        """True when every involved chip already has ``row`` latched."""
+        return all(self.chips[c].open_row[bank] == row for c in chips)
+
+    def row_open_any(self, chips: Iterable[int], bank: int) -> bool:
+        """True when any involved chip has some row latched in ``bank``."""
+        return any(self.chips[c].open_row[bank] is not None for c in chips)
+
+    # ------------------------------------------------------------------
+    # Activation cost
+    # ------------------------------------------------------------------
+    def activation_ticks(self, chips: Sequence[int], bank: int, row: int) -> int:
+        """Array time to make ``row`` available on all involved chips.
+
+        Row hit costs nothing; a conflict pays the row close plus the
+        array read; an empty row buffer pays only the array read.
+        """
+        worst = 0
+        for c in chips:
+            open_row = self.chips[c].open_row[bank]
+            if open_row == row:
+                cost = 0
+            elif open_row is None:
+                cost = self.timing.array_read_ticks
+            else:
+                cost = self.timing.row_close_ticks + self.timing.array_read_ticks
+            worst = max(worst, cost)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Reservations
+    # ------------------------------------------------------------------
+    def reserve_read(
+        self,
+        chips: Iterable[int],
+        bank: int,
+        end: int,
+        row: Optional[int],
+        start: int = -1,
+    ) -> None:
+        for c in chips:
+            self.chips[c].reserve_read(bank, end, row)
+            self._log("read", c, bank, start, end)
+
+    def reserve_write(
+        self,
+        chips: Iterable[int],
+        bank: int,
+        end: int,
+        row: Optional[int],
+        start: int = -1,
+    ) -> None:
+        for c in chips:
+            self.chips[c].reserve_write(bank, end, row)
+            self._log("write", c, bank, start, end)
+
+    def reserve_chip_write(
+        self,
+        chip: int,
+        bank: int,
+        end: int,
+        row: Optional[int],
+        start: int = -1,
+    ) -> None:
+        """Reserve a single chip's write circuitry (fine-grained write)."""
+        self.chips[chip].reserve_write(bank, end, row)
+        self._log("write", chip, bank, start, end)
+
+    # ------------------------------------------------------------------
+    def earliest_all_free(self, chips: Iterable[int], bank: int) -> int:
+        """Alias of :meth:`read_ready_time` with clearer intent at call sites."""
+        return self.read_ready_time(chips, bank)

@@ -1,0 +1,168 @@
+"""Memory request records exchanged between CPU, caches and controllers.
+
+A request always addresses one 64-byte cache line.  Write requests carry
+the *dirty-word mask* produced by the write-back path (one bit per 8-byte
+word); in functional mode they additionally carry the old and new line
+contents so the essential-word detector and the ECC machinery can operate
+on real bits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+LINE_BYTES = 64
+WORDS_PER_LINE = 8
+WORD_BYTES = LINE_BYTES // WORDS_PER_LINE
+
+
+class RequestKind(enum.Enum):
+    """Type of a main-memory transaction."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class ServiceClass(enum.Enum):
+    """How a request ended up being serviced (for metrics)."""
+
+    NORMAL = "normal"          #: ordinary coarse-grained service
+    ROW_OVERLAP = "row"        #: read served over a write via PCC reconstruction
+    WOW_MEMBER = "wow"         #: write consolidated into a WoW group
+    SILENT = "silent"          #: write with zero dirty words (compare only)
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (dirty words) in a word mask."""
+    return bin(mask).count("1")
+
+
+@dataclass
+class MemoryRequest:
+    """One line-granularity main-memory transaction.
+
+    Timing fields are engine ticks.  ``completion`` is set by the memory
+    controller when the request finishes; ``on_complete`` (if set) fires
+    at that moment so the CPU model can unstall.
+    """
+
+    req_id: int
+    kind: RequestKind
+    address: int                     #: byte address, line aligned
+    core_id: int = 0
+    arrival: int = 0                 #: tick the request reached the controller
+    #: Tick the requester first *wanted* to issue (may precede ``arrival``
+    #: when queue back-pressure blocked it); -1 when unset.  Effective
+    #: read latency is measured from here so systems that admit reads
+    #: faster are not penalised by the extra visible queueing.
+    requested_at: int = -1
+
+    #: Writes: bit ``i`` set when 8-byte word ``i`` differs from memory.
+    dirty_mask: int = 0
+    #: Functional mode: the eight 64-bit words being written (writes).
+    new_words: Optional[Tuple[int, ...]] = None
+    #: Functional mode: previous contents (filled by essential-word logic).
+    old_words: Optional[Tuple[int, ...]] = None
+
+    # ----- filled in by the controller ---------------------------------
+    start_service: int = -1          #: tick service began (array/bus work)
+    completion: int = -1             #: tick the request fully completed
+    service_class: ServiceClass = ServiceClass.NORMAL
+    #: Read was pushed back because the rank/bank was draining or busy
+    #: with a write (Figure 1's "delayed by write" predicate).
+    delayed_by_write: bool = False
+    #: RoW reads: tick the deferred SECDED verification completed.
+    verify_completion: int = -1
+    #: RoW reads: verification failed and the CPU had to roll back.
+    rolled_back: bool = False
+    #: Functional mode, reads: data returned to the requester.
+    data_words: Optional[Tuple[int, ...]] = None
+
+    on_complete: Optional[Callable[["MemoryRequest"], None]] = None
+    #: RoW reads: fires when deferred verification finishes; the second
+    #: argument is True when the verification failed (rollback needed).
+    on_verify: Optional[Callable[["MemoryRequest", bool], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.address % LINE_BYTES:
+            raise ValueError(
+                f"address {self.address:#x} not {LINE_BYTES}-byte aligned"
+            )
+        if not 0 <= self.dirty_mask < (1 << WORDS_PER_LINE):
+            raise ValueError(f"dirty mask out of range: {self.dirty_mask:#x}")
+        if self.kind is RequestKind.READ and self.dirty_mask:
+            raise ValueError("read requests cannot carry a dirty mask")
+        if self.new_words is not None and len(self.new_words) != WORDS_PER_LINE:
+            raise ValueError("new_words must have 8 entries")
+
+    # ------------------------------------------------------------------
+    @property
+    def line_address(self) -> int:
+        """Line index (byte address / 64)."""
+        return self.address // LINE_BYTES
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is RequestKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is RequestKind.WRITE
+
+    @property
+    def dirty_words(self) -> Tuple[int, ...]:
+        """Indices of dirty words, ascending."""
+        return tuple(
+            i for i in range(WORDS_PER_LINE) if (self.dirty_mask >> i) & 1
+        )
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of essential (dirty) words."""
+        return popcount(self.dirty_mask)
+
+    @property
+    def latency(self) -> int:
+        """Arrival-to-completion latency in ticks (valid after service)."""
+        if self.completion < 0:
+            raise ValueError(f"request {self.req_id} not completed yet")
+        return self.completion - self.arrival
+
+    @property
+    def effective_latency(self) -> int:
+        """Completion minus first-wanted time (includes back-pressure)."""
+        if self.completion < 0:
+            raise ValueError(f"request {self.req_id} not completed yet")
+        origin = self.requested_at if self.requested_at >= 0 else self.arrival
+        return self.completion - origin
+
+    def complete(self, now: int) -> None:
+        """Mark the request complete and fire its callback."""
+        self.completion = now
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+
+def make_read(req_id: int, address: int, core_id: int = 0) -> MemoryRequest:
+    """Convenience constructor for a read request."""
+    return MemoryRequest(req_id, RequestKind.READ, address, core_id=core_id)
+
+
+def make_write(
+    req_id: int,
+    address: int,
+    dirty_mask: int,
+    core_id: int = 0,
+    new_words: Optional[Tuple[int, ...]] = None,
+) -> MemoryRequest:
+    """Convenience constructor for a write-back request."""
+    return MemoryRequest(
+        req_id,
+        RequestKind.WRITE,
+        address,
+        core_id=core_id,
+        dirty_mask=dirty_mask,
+        new_words=new_words,
+    )

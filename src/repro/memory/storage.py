@@ -1,0 +1,151 @@
+"""Functional backing store for the PCM array.
+
+In functional mode the simulator keeps real line contents so that the
+essential-word detector, the SECDED codec and the PCC reconstruction all
+operate on actual bits (tests prove end-to-end data integrity this way).
+Only touched lines are materialised; untouched lines read as a
+deterministic pseudo-random pattern derived from the line address so that
+"cold" reads still produce stable, checkable data.
+
+Timing-only simulations skip this module entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.ecc import hamming, parity
+from repro.memory.request import WORDS_PER_LINE
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def _cold_pattern(line_address: int) -> Tuple[int, ...]:
+    """Deterministic initial contents of an untouched line.
+
+    A splitmix64-style mix of the line address and word index — cheap,
+    stable across runs, and bit-dense enough to exercise the ECC paths.
+    """
+    words = []
+    for i in range(WORDS_PER_LINE):
+        z = (line_address * WORDS_PER_LINE + i + 0x9E3779B97F4A7C15) & _WORD_MASK
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _WORD_MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _WORD_MASK
+        words.append(z ^ (z >> 31))
+    return tuple(words)
+
+
+@dataclass
+class StoredLine:
+    """A materialised line with its code words."""
+
+    words: Tuple[int, ...]
+    checks: Tuple[int, ...]  #: SECDED byte per word (the ECC chip's word)
+    pcc: int                 #: XOR parity word (the PCC chip's word)
+
+
+class MemoryStorage:
+    """Sparse functional image of the PCM main memory."""
+
+    def __init__(self, keep_pcc: bool = True):
+        self.keep_pcc = keep_pcc
+        self._lines: Dict[int, StoredLine] = {}
+        #: Writes whose per-word comparison found no change (silent words).
+        self.silent_word_writes = 0
+        #: Total dirty words actually committed to the array.
+        self.committed_words = 0
+
+    # ------------------------------------------------------------------
+    def _materialise(self, line_address: int) -> StoredLine:
+        line = self._lines.get(line_address)
+        if line is None:
+            words = _cold_pattern(line_address)
+            line = StoredLine(
+                words=words,
+                checks=hamming.encode_line(words),
+                pcc=parity.compute_parity(words) if self.keep_pcc else 0,
+            )
+            self._lines[line_address] = line
+        return line
+
+    # ------------------------------------------------------------------
+    def read_line(self, line_address: int) -> StoredLine:
+        """Full line as the chips would return it (data + ECC + PCC)."""
+        return self._materialise(line_address)
+
+    def read_word(self, line_address: int, word: int) -> int:
+        """One 64-bit data word (a single chip's contribution)."""
+        if not 0 <= word < WORDS_PER_LINE:
+            raise ValueError(f"word index out of range: {word}")
+        return self._materialise(line_address).words[word]
+
+    def diff_mask(self, line_address: int, new_words: Tuple[int, ...]) -> int:
+        """Dirty-word mask: which words of ``new_words`` differ from memory.
+
+        This is the read-before-write comparison the PCM chips perform
+        (paper §IV-A1, approach 3).
+        """
+        if len(new_words) != WORDS_PER_LINE:
+            raise ValueError("expected 8 words")
+        old = self._materialise(line_address).words
+        mask = 0
+        for i, (old_word, new_word) in enumerate(zip(old, new_words)):
+            if old_word != new_word:
+                mask |= 1 << i
+            else:
+                self.silent_word_writes += 1
+        return mask
+
+    def write_line(
+        self,
+        line_address: int,
+        new_words: Tuple[int, ...],
+        dirty_mask: Optional[int] = None,
+    ) -> int:
+        """Commit the dirty words of a write-back; returns the mask used.
+
+        When ``dirty_mask`` is ``None`` it is derived by comparison (a
+        differential write).  Clean words are left untouched; the ECC and
+        PCC words are updated incrementally for the words that changed.
+        """
+        old = self._materialise(line_address)
+        if dirty_mask is None:
+            dirty_mask = self.diff_mask(line_address, new_words)
+        words = list(old.words)
+        checks = list(old.checks)
+        pcc = old.pcc
+        for i in range(WORDS_PER_LINE):
+            if not (dirty_mask >> i) & 1:
+                continue
+            if self.keep_pcc:
+                pcc = parity.update_parity(pcc, words[i], new_words[i])
+            words[i] = new_words[i]
+            checks[i] = hamming.encode(new_words[i])
+            self.committed_words += 1
+        self._lines[line_address] = StoredLine(tuple(words), tuple(checks), pcc)
+        return dirty_mask
+
+    # ------------------------------------------------------------------
+    # Fault injection (used to exercise RoW's deferred verification)
+    # ------------------------------------------------------------------
+    def corrupt_bit(self, line_address: int, word: int, bit: int) -> None:
+        """Flip one data bit *without* updating ECC/PCC.
+
+        Models a soft error in the array; a subsequent SECDED decode will
+        report a correctable single-bit error.
+        """
+        if not 0 <= bit < 64:
+            raise ValueError(f"bit index out of range: {bit}")
+        line = self._materialise(line_address)
+        words = list(line.words)
+        words[word] ^= 1 << bit
+        self._lines[line_address] = StoredLine(tuple(words), line.checks, line.pcc)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of materialised lines."""
+        return len(self._lines)
+
+    def __contains__(self, line_address: int) -> bool:
+        return line_address in self._lines

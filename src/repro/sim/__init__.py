@@ -1,0 +1,17 @@
+"""Simulation harness: event engine, metrics, system driver, experiments."""
+
+from repro.sim.engine import Engine, ns_to_ticks, ticks_to_ns
+from repro.sim.metrics import IrlpRecorder, MemoryStats, SimulationResult, WriteWindow
+from repro.sim.results_io import load_results, save_results
+
+__all__ = [
+    "Engine",
+    "ns_to_ticks",
+    "ticks_to_ns",
+    "IrlpRecorder",
+    "MemoryStats",
+    "SimulationResult",
+    "WriteWindow",
+    "load_results",
+    "save_results",
+]

@@ -1,0 +1,111 @@
+"""Experiment helpers: run workloads, compare systems, compute deltas.
+
+The benchmark modules under ``benchmarks/`` use these to regenerate every
+figure and table; examples and tests use them for smaller runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.config import SystemConfig
+from repro.core.systems import SYSTEM_NAMES, make_system
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import SimulationParams, simulate
+from repro.trace.workloads import WorkloadProfile, get_workload
+
+
+def run_workload(
+    workload: Union[str, WorkloadProfile],
+    system: Union[str, SystemConfig],
+    params: Optional[SimulationParams] = None,
+    **system_overrides,
+) -> SimulationResult:
+    """Run one workload on one system (by name or config)."""
+    if isinstance(system, str):
+        system = make_system(system, **system_overrides)
+    elif system_overrides:
+        raise ValueError("overrides only apply when `system` is a name")
+    return simulate(system, workload, params)
+
+
+@dataclass
+class SystemComparison:
+    """Results of one workload across several systems."""
+
+    workload_name: str
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> SimulationResult:
+        try:
+            return self.results["baseline"]
+        except KeyError:
+            raise ValueError("comparison has no baseline run") from None
+
+    def ipc_improvement(self, system_name: str) -> float:
+        """Fractional IPC gain over the baseline (0.15 == +15 %)."""
+        base = self.baseline.ipc
+        if base == 0:
+            return 0.0
+        return self.results[system_name].ipc / base - 1.0
+
+    def read_latency_ratio(self, system_name: str) -> float:
+        """Effective read latency normalised to the baseline (<1 is better)."""
+        base = self.baseline.mean_read_latency_ns
+        if base == 0:
+            return 1.0
+        return self.results[system_name].mean_read_latency_ns / base
+
+    def write_throughput_ratio(self, system_name: str) -> float:
+        """Write throughput normalised to the baseline (>1 is better)."""
+        base = self.baseline.write_throughput
+        if base == 0:
+            return 1.0
+        return self.results[system_name].write_throughput / base
+
+    def irlp(self, system_name: str) -> float:
+        return self.results[system_name].irlp_average
+
+
+def compare_systems(
+    workload: Union[str, WorkloadProfile],
+    systems: Optional[Sequence[Union[str, SystemConfig]]] = None,
+    params: Optional[SimulationParams] = None,
+    **system_overrides,
+) -> SystemComparison:
+    """Run one workload across systems (default: all six of §V)."""
+    if systems is None:
+        systems = SYSTEM_NAMES
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    comparison = SystemComparison(workload_name=workload.name)
+    for system in systems:
+        result = run_workload(workload, system, params, **system_overrides)
+        comparison.results[result.system_name] = result
+    return comparison
+
+
+def sweep_workloads(
+    workloads: Iterable[Union[str, WorkloadProfile]],
+    systems: Optional[Sequence[Union[str, SystemConfig]]] = None,
+    params: Optional[SimulationParams] = None,
+    **system_overrides,
+) -> List[SystemComparison]:
+    """Cartesian sweep used by the figure benchmarks."""
+    return [
+        compare_systems(workload, systems, params, **system_overrides)
+        for workload in workloads
+    ]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the conventional average for normalised ratios)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for value in filtered:
+        product *= value
+    return product ** (1.0 / len(filtered))

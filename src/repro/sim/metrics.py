@@ -1,0 +1,291 @@
+"""Measurement machinery: IRLP windows, latency and throughput statistics.
+
+IRLP ("intra-rank-level parallelism during a write", paper footnote 2) is
+the time-averaged number of chips doing *data-word* array work while a
+write service window is open.  The controller opens a
+:class:`WriteWindow` for every write (or WoW group) it issues and
+attributes chip activity intervals — the dirty-word writes themselves plus
+any reads overlapped by RoW — to the window.  ECC/PCC update activity is
+deliberately excluded so the metric tops out at 8.0, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import ticks_to_ns
+
+
+def merge_intervals(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge possibly-overlapping [start, end) intervals."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [ordered[0]]
+    for start, end in ordered[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+#: IRLP never exceeds the number of data words per line (paper footnote 2
+#: reports it "out of a maximum of 8.0").
+MAX_IRLP = 8
+
+
+@dataclass
+class WriteWindow:
+    """One write service window and the chip activity inside it."""
+
+    start: int
+    end: int
+    #: Tick the slowest trailing ECC/PCC update of the window finished;
+    #: write-throughput busy time runs to here, IRLP only to ``end``.
+    service_end: int = -1
+    #: (chip, start, end) data-word activity intervals.
+    activities: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def add_activity(self, chip: int, start: int, end: int) -> None:
+        """Record data-word array work on ``chip`` over [start, end)."""
+        if end > start:
+            self.activities.append((chip, start, end))
+
+    def extend(self, end: int) -> None:
+        """Grow the window (WoW groups end with their slowest member)."""
+        self.end = max(self.end, end)
+
+    def absorb(self, start: int, end: int) -> None:
+        """Expand the window to cover [start, end) (WoW member spans).
+
+        A window created with ``start < 0`` is a placeholder; the first
+        absorb defines its span.
+        """
+        if self.start < 0:
+            self.start, self.end = start, end
+        else:
+            self.start = min(self.start, start)
+            self.end = max(self.end, end)
+
+    def note_service_end(self, end: int) -> None:
+        """Record when the window's full service (ECC/PCC tail) finished."""
+        self.service_end = max(self.service_end, end)
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    @property
+    def busy_end(self) -> int:
+        """End of the window's full service (at least the IRLP span end)."""
+        return max(self.end, self.service_end)
+
+    def irlp(self) -> float:
+        """Time-averaged busy data-chip count, capped at :data:`MAX_IRLP`.
+
+        The cap matches the paper's definition: at most the eight data
+        words of any line are in flight, even though a reconstruction read
+        plus a trailing write can momentarily touch nine physical chips.
+        """
+        if self.duration <= 0:
+            return 0.0
+        per_chip: Dict[int, List[Tuple[int, int]]] = {}
+        for chip, start, end in self.activities:
+            clipped = (max(start, self.start), min(end, self.end))
+            if clipped[1] > clipped[0]:
+                per_chip.setdefault(chip, []).append(clipped)
+        # Sweep chip-count changes so the instantaneous count can be capped.
+        events: List[Tuple[int, int]] = []
+        for intervals in per_chip.values():
+            for start, end in merge_intervals(intervals):
+                events.append((start, +1))
+                events.append((end, -1))
+        events.sort()
+        busy = 0
+        count = 0
+        previous = self.start
+        for time, delta in events:
+            busy += min(count, MAX_IRLP) * (time - previous)
+            count += delta
+            previous = time
+        busy += min(count, MAX_IRLP) * (self.end - previous)
+        return busy / self.duration
+
+
+class IrlpRecorder:
+    """Collects write windows and summarises IRLP."""
+
+    def __init__(self) -> None:
+        self.windows: List[WriteWindow] = []
+
+    def open_window(self, start: int, end: int) -> WriteWindow:
+        window = WriteWindow(start, end)
+        self.windows.append(window)
+        return window
+
+    def average(self) -> float:
+        """Mean IRLP across windows (0 when no writes were serviced)."""
+        values = [w.irlp() for w in self.windows if w.duration > 0]
+        return sum(values) / len(values) if values else 0.0
+
+    def maximum(self) -> float:
+        values = [w.irlp() for w in self.windows if w.duration > 0]
+        return max(values) if values else 0.0
+
+    def drain_busy_ticks(self) -> int:
+        """Union duration of all write service spans (incl. ECC/PCC tails)."""
+        spans = [
+            (w.start, w.busy_end) for w in self.windows if w.busy_end > w.start
+        ]
+        return sum(end - start for start, end in merge_intervals(spans))
+
+
+@dataclass
+class MemoryStats:
+    """Aggregate counters for one controller (or merged across channels)."""
+
+    reads_completed: int = 0
+    writes_completed: int = 0
+    read_latency_ticks: int = 0          #: sum of arrival->completion
+    read_latency_max: int = 0
+    reads_delayed_by_write: int = 0
+    forwarded_reads: int = 0             #: reads served from the write queue
+    row_buffer_hits: int = 0             #: reads served from an open row
+    row_buffer_misses: int = 0           #: reads that had to activate
+    row_reads: int = 0                   #: reads served via RoW reconstruction
+    row_normal_overlap_reads: int = 0    #: reads overlapped without reconstruction
+    wow_member_writes: int = 0           #: writes consolidated into groups
+    wow_groups: int = 0                  #: groups with >= 2 members
+    silent_writes: int = 0               #: zero-dirty-word write-backs
+    rollbacks: int = 0                   #: RoW verifications that failed
+    verify_count: int = 0                #: deferred verifications performed
+    dirty_word_histogram: List[int] = field(default_factory=lambda: [0] * 9)
+    drain_entries: int = 0               #: number of drain episodes
+    #: PCM word writes per physical chip (data words and ECC/PCC updates)
+    #: — wear balance; rotation spreads these (paper §IV-C2).
+    chip_word_writes: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def record_read(self, latency_ticks: int, delayed: bool) -> None:
+        self.reads_completed += 1
+        self.read_latency_ticks += latency_ticks
+        self.read_latency_max = max(self.read_latency_max, latency_ticks)
+        if delayed:
+            self.reads_delayed_by_write += 1
+
+    def record_write(self, dirty_count: int) -> None:
+        self.writes_completed += 1
+        self.dirty_word_histogram[dirty_count] += 1
+        if dirty_count == 0:
+            self.silent_writes += 1
+
+    def record_chip_write(self, chip: int) -> None:
+        """Count one PCM word write on a physical chip (wear tracking)."""
+        self.chip_word_writes[chip] = self.chip_word_writes.get(chip, 0) + 1
+
+    def chip_write_imbalance(self) -> float:
+        """Coefficient of variation of per-chip word writes (0 = even)."""
+        counts = list(self.chip_word_writes.values())
+        if len(counts) < 2:
+            return 0.0
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 0.0
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        return variance ** 0.5 / mean
+
+    # ------------------------------------------------------------------
+    @property
+    def row_buffer_hit_rate(self) -> float:
+        total = self.row_buffer_hits + self.row_buffer_misses
+        if not total:
+            return 0.0
+        return self.row_buffer_hits / total
+
+    @property
+    def mean_read_latency_ticks(self) -> float:
+        if not self.reads_completed:
+            return 0.0
+        return self.read_latency_ticks / self.reads_completed
+
+    @property
+    def mean_read_latency_ns(self) -> float:
+        return ticks_to_ns(int(self.mean_read_latency_ticks))
+
+    @property
+    def delayed_read_fraction(self) -> float:
+        if not self.reads_completed:
+            return 0.0
+        return self.reads_delayed_by_write / self.reads_completed
+
+    @property
+    def mean_dirty_words(self) -> float:
+        total = sum(self.dirty_word_histogram)
+        if not total:
+            return 0.0
+        return (
+            sum(i * n for i, n in enumerate(self.dirty_word_histogram)) / total
+        )
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MemoryStats") -> None:
+        """Accumulate another controller's counters into this one."""
+        self.reads_completed += other.reads_completed
+        self.writes_completed += other.writes_completed
+        self.read_latency_ticks += other.read_latency_ticks
+        self.read_latency_max = max(self.read_latency_max, other.read_latency_max)
+        self.reads_delayed_by_write += other.reads_delayed_by_write
+        self.forwarded_reads += other.forwarded_reads
+        self.row_buffer_hits += other.row_buffer_hits
+        self.row_buffer_misses += other.row_buffer_misses
+        self.row_reads += other.row_reads
+        self.row_normal_overlap_reads += other.row_normal_overlap_reads
+        self.wow_member_writes += other.wow_member_writes
+        self.wow_groups += other.wow_groups
+        self.silent_writes += other.silent_writes
+        self.rollbacks += other.rollbacks
+        self.verify_count += other.verify_count
+        self.drain_entries += other.drain_entries
+        for i, count in enumerate(other.dirty_word_histogram):
+            self.dirty_word_histogram[i] += count
+        for chip, count in other.chip_word_writes.items():
+            self.chip_word_writes[chip] = (
+                self.chip_word_writes.get(chip, 0) + count
+            )
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs from one simulation run."""
+
+    system_name: str
+    workload_name: str
+    sim_ticks: int
+    instructions: int
+    cpu_cycles: int
+    memory: MemoryStats
+    irlp_average: float
+    irlp_max: float
+    write_service_busy_ticks: int
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per CPU cycle across all cores."""
+        if not self.cpu_cycles:
+            return 0.0
+        return self.instructions / self.cpu_cycles
+
+    @property
+    def write_throughput(self) -> float:
+        """Writes completed per microsecond of write-service busy time."""
+        busy_ns = ticks_to_ns(self.write_service_busy_ticks)
+        if busy_ns <= 0:
+            return 0.0
+        return self.memory.writes_completed / (busy_ns / 1000.0)
+
+    @property
+    def mean_read_latency_ns(self) -> float:
+        return self.memory.mean_read_latency_ns

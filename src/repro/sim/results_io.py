@@ -1,0 +1,89 @@
+"""Persistence for simulation results (JSON round-trip).
+
+Sweeps take minutes; persisting their results lets the analysis layer and
+notebooks compare systems, seeds and code revisions without re-running.
+The format is a flat JSON document per result (schema version tagged), and
+a results file holds a list of them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Union
+
+from repro.sim.metrics import MemoryStats, SimulationResult
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Flatten one result (including its memory stats) to JSON-safe data."""
+    memory = asdict(result.memory)
+    # JSON objects key by string; normalise the per-chip map.
+    memory["chip_word_writes"] = {
+        str(chip): count
+        for chip, count in result.memory.chip_word_writes.items()
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "system": result.system_name,
+        "workload": result.workload_name,
+        "sim_ticks": result.sim_ticks,
+        "instructions": result.instructions,
+        "cpu_cycles": result.cpu_cycles,
+        "irlp_average": result.irlp_average,
+        "irlp_max": result.irlp_max,
+        "write_service_busy_ticks": result.write_service_busy_ticks,
+        "memory": memory,
+        # Redundant conveniences for downstream tools:
+        "ipc": result.ipc,
+        "write_throughput": result.write_throughput,
+        "mean_read_latency_ns": result.mean_read_latency_ns,
+    }
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema {data.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    memory_data = dict(data["memory"])
+    memory_data["chip_word_writes"] = {
+        int(chip): count
+        for chip, count in memory_data.get("chip_word_writes", {}).items()
+    }
+    memory = MemoryStats(**memory_data)
+    return SimulationResult(
+        system_name=data["system"],
+        workload_name=data["workload"],
+        sim_ticks=data["sim_ticks"],
+        instructions=data["instructions"],
+        cpu_cycles=data["cpu_cycles"],
+        memory=memory,
+        irlp_average=data["irlp_average"],
+        irlp_max=data["irlp_max"],
+        write_service_busy_ticks=data["write_service_busy_ticks"],
+    )
+
+
+def save_results(
+    path: Union[str, Path], results: List[SimulationResult]
+) -> int:
+    """Write results to a JSON file; returns the count."""
+    payload = [result_to_dict(result) for result in results]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    return len(payload)
+
+
+def load_results(path: Union[str, Path]) -> List[SimulationResult]:
+    """Read results back from a JSON file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        raise ValueError("results file must hold a JSON list")
+    return [result_from_dict(entry) for entry in payload]

@@ -1,0 +1,118 @@
+"""Full-system driver: cores, controllers and the PCM memory together.
+
+One :class:`SystemSimulator` runs one (system config, workload) pair to a
+fixed per-core instruction budget and returns a
+:class:`~repro.sim.metrics.SimulationResult` with everything the paper's
+figures report (IPC, IRLP, effective read latency, write throughput,
+delayed-read fraction, rollbacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.core.config import SystemConfig
+from repro.cpu.core import CoreParams
+from repro.cpu.multicore import Multicore
+from repro.memory.memsys import MainMemory
+from repro.sim.engine import Engine
+from repro.sim.metrics import SimulationResult
+from repro.trace.workloads import WorkloadProfile, get_workload
+
+
+@dataclass(frozen=True)
+class SimulationParams:
+    """Run-scale knobs (the paper runs 1 B instructions after warm-up; we
+    default to a budget that keeps a 6-system x 12-workload sweep fast)."""
+
+    n_cores: int = 8
+    instructions_per_core: int = 60_000
+    #: When set, instructions_per_core is derived per workload so that
+    #: roughly this many main-memory requests are simulated in total —
+    #: low-MPKI workloads then get enough requests to reach steady state.
+    target_requests: Optional[int] = None
+    seed: int = 1
+    core_params: CoreParams = CoreParams()
+    #: Safety valve for the event loop (ticks); never binds in practice.
+    max_ticks: int = 40_000_000_000
+
+    def resolve_instructions(self, workload: WorkloadProfile) -> int:
+        """Per-core instruction budget for ``workload``."""
+        if self.target_requests is None:
+            return self.instructions_per_core
+        per_core = self.target_requests * 1000.0 / (
+            max(workload.mpki, 1e-6) * self.n_cores
+        )
+        return max(5_000, int(per_core))
+
+
+class SystemSimulator:
+    """Build-and-run wrapper for one configuration/workload pair."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        workload: Union[str, WorkloadProfile],
+        params: Optional[SimulationParams] = None,
+    ):
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        self.workload = workload
+        self.params = params or SimulationParams()
+        # Wire the workload's Table IV rollback rate into the controller's
+        # verification model unless the config pinned one explicitly.
+        if system.enable_row and system.row_rollback_rate == 0.0:
+            system = system.with_rollback_rate(workload.rollback_rate)
+        self.system = system
+
+        self.engine = Engine()
+        self.memory = MainMemory(self.engine, system, seed=self.params.seed)
+        self.multicore = Multicore(
+            self.engine,
+            self.memory,
+            workload,
+            n_cores=self.params.n_cores,
+            params=self.params.core_params,
+            instructions_per_core=self.params.resolve_instructions(workload),
+            seed=self.params.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute until every core retires its budget; collect metrics."""
+        self.multicore.start()
+        while not self.multicore.all_done:
+            if not self.engine.step():
+                raise RuntimeError(
+                    "simulation deadlocked: no pending events but cores "
+                    "have not finished"
+                )
+            if self.engine.now > self.params.max_ticks:
+                raise RuntimeError(
+                    f"simulation exceeded {self.params.max_ticks} ticks"
+                )
+        return self._collect()
+
+    def _collect(self) -> SimulationResult:
+        stats = self.memory.aggregate_stats()
+        return SimulationResult(
+            system_name=self.system.name,
+            workload_name=self.workload.name,
+            sim_ticks=self.engine.now,
+            instructions=self.multicore.instructions_retired,
+            cpu_cycles=self.multicore.total_cpu_cycles(),
+            memory=stats,
+            irlp_average=self.memory.irlp_average(),
+            irlp_max=self.memory.irlp_max(),
+            write_service_busy_ticks=self.memory.write_service_busy_ticks(),
+        )
+
+
+def simulate(
+    system: SystemConfig,
+    workload: Union[str, WorkloadProfile],
+    params: Optional[SimulationParams] = None,
+) -> SimulationResult:
+    """One-shot convenience: build, run, return the result."""
+    return SystemSimulator(system, workload, params).run()

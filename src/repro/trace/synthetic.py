@@ -1,0 +1,203 @@
+"""Synthetic main-memory trace generation.
+
+The paper evaluates with gem5-captured SPEC/PARSEC streams; offline we
+synthesise statistically equivalent post-LLC request streams from the
+:class:`~repro.trace.workloads.WorkloadProfile` parameters:
+
+* arrival density from RPKI/WPKI (geometric instruction gaps),
+* bursty write-backs (LLC evictions arrive in waves),
+* sequential streams for row-buffer/bank locality plus a random component,
+* dirty-word masks drawn from the profile's Figure-2 distribution with
+  §IV-C2's same-offset correlation between successive write-backs,
+* read/write address affinity (dirty evictions of recently-read lines).
+
+The generator is deterministic per (profile, seed, core); every draw goes
+through one ``random.Random`` instance.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Tuple
+
+from repro.memory.request import LINE_BYTES, WORDS_PER_LINE
+from repro.trace.record import AccessKind, TraceRecord
+from repro.trace.workloads import WorkloadKind, WorkloadProfile
+
+
+class SyntheticTraceGenerator:
+    """Endless per-core stream of :class:`TraceRecord`.
+
+    ``core_id`` / ``n_cores`` partition the address space for
+    multi-programmed workloads (independent programs own disjoint
+    footprints); multi-threaded workloads share one footprint.
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        seed: int = 1,
+        core_id: int = 0,
+        n_cores: int = 8,
+        capacity_lines: int = (8 * 1024 ** 3) // LINE_BYTES,
+    ):
+        self.profile = profile
+        self.core_id = core_id
+        self.n_cores = max(1, n_cores)
+        self.capacity_lines = capacity_lines
+        self.rng = random.Random((seed * 1_000_003 + core_id) ^ hash(profile.name) & 0xFFFF)
+
+        footprint = min(profile.footprint_lines, capacity_lines // self.n_cores)
+        self._footprint = max(footprint, 1024)
+        if profile.kind is WorkloadKind.MULTI_THREADED:
+            # Threads of one program share the working set.
+            self._base_line = 0
+        else:
+            self._base_line = (core_id * self._footprint) % max(
+                1, capacity_lines - self._footprint
+            )
+
+        self._read_streams: List[int] = [
+            self.rng.randrange(self._footprint)
+            for _ in range(profile.stream_count)
+        ]
+        self._write_streams: List[int] = [
+            self.rng.randrange(self._footprint)
+            for _ in range(max(1, profile.stream_count // 2))
+        ]
+        self._recent_reads: Deque[int] = deque(maxlen=32)
+        self._last_offsets: Optional[Tuple[int, ...]] = None
+        self._pending_writes = 0  # remaining write-backs in the current burst
+
+    # ------------------------------------------------------------------
+    # Address models
+    # ------------------------------------------------------------------
+    def _line_to_address(self, line: int) -> int:
+        return (self._base_line + (line % self._footprint)) * LINE_BYTES
+
+    def _next_read_line(self) -> int:
+        if self.rng.random() < self.profile.sequential_fraction:
+            index = self.rng.randrange(len(self._read_streams))
+            self._read_streams[index] = (
+                self._read_streams[index] + 1
+            ) % self._footprint
+            # Occasionally re-seat a stream so footprints get covered.
+            if self.rng.random() < 0.002:
+                self._read_streams[index] = self.rng.randrange(self._footprint)
+            return self._read_streams[index]
+        return self.rng.randrange(self._footprint)
+
+    def _next_write_line(self) -> int:
+        if self._recent_reads and (
+            self.rng.random() < self.profile.write_read_affinity
+        ):
+            return self.rng.choice(tuple(self._recent_reads))
+        if self.rng.random() < self.profile.sequential_fraction:
+            index = self.rng.randrange(len(self._write_streams))
+            self._write_streams[index] = (
+                self._write_streams[index] + 1
+            ) % self._footprint
+            return self._write_streams[index]
+        return self.rng.randrange(self._footprint)
+
+    # ------------------------------------------------------------------
+    # Dirty masks (Figure 2 + §IV-C2 offset correlation)
+    # ------------------------------------------------------------------
+    def _next_dirty_mask(self) -> int:
+        weights = self.profile.dirty_word_distribution
+        count = self.rng.choices(range(WORDS_PER_LINE + 1), weights)[0]
+        if count == 0:
+            return 0
+        if (
+            self._last_offsets is not None
+            and self.rng.random() < self.profile.offset_correlation
+        ):
+            # Reuse the previous write-back's offsets, trimmed or grown to
+            # the drawn count — this is the clustering rotation defeats.
+            offsets = list(self._last_offsets)[:count]
+            remaining = [w for w in range(WORDS_PER_LINE) if w not in offsets]
+            while len(offsets) < count:
+                offsets.append(remaining.pop(self.rng.randrange(len(remaining))))
+        else:
+            # Weighted sampling without replacement: low offsets dominate
+            # (struct headers / counters), the clustering data rotation
+            # de-correlates.
+            offsets = []
+            candidates = list(range(WORDS_PER_LINE))
+            weights = list(self.profile.offset_weights)
+            for _ in range(count):
+                pick = self.rng.choices(
+                    range(len(candidates)), weights=weights
+                )[0]
+                offsets.append(candidates.pop(pick))
+                weights.pop(pick)
+        self._last_offsets = tuple(sorted(offsets))
+        mask = 0
+        for word in offsets:
+            mask |= 1 << word
+        return mask
+
+    # ------------------------------------------------------------------
+    # Arrival process
+    # ------------------------------------------------------------------
+    def _gap_instructions(self, mean: float) -> int:
+        if mean <= 0:
+            return 0
+        return int(self.rng.expovariate(1.0 / mean))
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Yield an endless stream of memory-level trace records."""
+        profile = self.profile
+        if profile.mpki <= 0:
+            raise ValueError(f"workload {profile.name} performs no memory accesses")
+        f_w = profile.write_fraction
+        burst_mean = max(1.0, profile.write_burst_mean)
+        # Burst-start probability p solving p*B / (p*B + 1 - p) = f_w, so
+        # the long-run write fraction is exactly WPKI/(RPKI+WPKI).
+        denominator = burst_mean - f_w * (burst_mean - 1.0)
+        burst_start_probability = min(1.0, f_w / denominator) if f_w > 0 else 0.0
+        # Intra-burst write gaps are a quarter of read gaps (evictions are
+        # back-to-back); scale the read gap so the aggregate access rate
+        # still matches MPKI.
+        mean_gap = (1000.0 / profile.mpki) / max(1e-9, 1.0 - 0.75 * f_w)
+        while True:
+            if self._pending_writes > 0:
+                self._pending_writes -= 1
+                line = self._next_write_line()
+                yield TraceRecord(
+                    gap_instructions=self._gap_instructions(mean_gap * 0.25),
+                    kind=AccessKind.WRITE_BACK,
+                    address=self._line_to_address(line),
+                    dirty_mask=self._next_dirty_mask(),
+                )
+                continue
+            if self.rng.random() < burst_start_probability:
+                # Eviction wave: geometric burst length with the given mean.
+                length = 1
+                while (
+                    self.rng.random() < 1.0 - 1.0 / burst_mean
+                    and length < 4 * burst_mean
+                ):
+                    length += 1
+                self._pending_writes = length
+                continue
+            line = self._next_read_line()
+            self._recent_reads.append(line)
+            yield TraceRecord(
+                gap_instructions=self._gap_instructions(mean_gap),
+                kind=AccessKind.READ,
+                address=self._line_to_address(line),
+            )
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return self.records()
+
+    def take(self, count: int) -> List[TraceRecord]:
+        """Materialise the first ``count`` records (tests, trace export)."""
+        out: List[TraceRecord] = []
+        for record in self.records():
+            out.append(record)
+            if len(out) >= count:
+                break
+        return out

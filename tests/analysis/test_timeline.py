@@ -1,0 +1,102 @@
+"""Unit tests for the occupancy timeline renderer."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    event_mark,
+    occupancy_summary,
+    render_occupancy,
+)
+from repro.memory.rank import OccupancyEvent
+
+
+def _event(kind="write", chip=0, start=0, end=100, label=""):
+    return OccupancyEvent(kind, chip, 0, start, end, label)
+
+
+def test_event_marks():
+    assert event_mark(_event(kind="write")) == "W"
+    assert event_mark(_event(kind="read")) == "R"
+    assert event_mark(_event(kind="write", label="code-update")) == "c"
+
+
+def test_render_empty():
+    text = render_occupancy([], n_chips=10, title="T")
+    assert "T" in text and "no occupancy" in text
+
+
+def test_render_marks_cells():
+    events = [
+        _event(kind="write", chip=3, start=0, end=500),
+        _event(kind="read", chip=0, start=250, end=500),
+    ]
+    text = render_occupancy(events, n_chips=10, tick_step=250)
+    lines = text.splitlines()
+    chip0 = next(l for l in lines if l.startswith("chip 0"))
+    chip3 = next(l for l in lines if l.startswith("chip 3"))
+    assert chip0.endswith("|.R|")
+    assert chip3.endswith("|WW|")
+
+
+def test_render_precedence_write_over_read():
+    events = [
+        _event(kind="read", chip=0, start=0, end=250),
+        _event(kind="write", chip=0, start=0, end=250),
+    ]
+    text = render_occupancy(events, n_chips=10, tick_step=250)
+    chip0 = next(l for l in text.splitlines() if l.startswith("chip 0"))
+    assert "W" in chip0
+
+
+def _row_labels(text):
+    return [
+        line.split("|")[0].strip()
+        for line in text.splitlines()
+        if "|" in line
+    ]
+
+
+def test_render_names_ecc_pcc_for_ten_chips():
+    labels = _row_labels(render_occupancy([_event()], n_chips=10))
+    assert "ECC" in labels and "PCC" in labels
+
+
+def test_render_nine_chip_rank():
+    labels = _row_labels(render_occupancy([_event()], n_chips=9))
+    assert "ECC" in labels and "PCC" not in labels
+
+
+def test_render_skips_unknown_starts():
+    text = render_occupancy([_event(start=-1)], n_chips=10)
+    assert "no occupancy" in text
+
+
+def test_tick_step_validated():
+    with pytest.raises(ValueError):
+        render_occupancy([_event()], n_chips=10, tick_step=0)
+
+
+def test_occupancy_summary():
+    events = [
+        _event(kind="write", chip=1, start=0, end=100),
+        _event(kind="read", chip=1, start=100, end=150),
+        _event(kind="write", chip=2, start=0, end=50, label="code-update"),
+    ]
+    summary = occupancy_summary(events)
+    assert summary["per_chip"] == {1: 150, 2: 50}
+    assert summary["per_kind"] == {"W": 100, "R": 50, "c": 50}
+
+
+def test_renderer_consumes_real_controller_log():
+    from repro.core.systems import make_system
+    from repro.memory.memsys import make_controller
+    from repro.memory.request import make_write
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    controller = make_controller(engine, make_system("rwow-rde"))
+    log = controller.ranks[0].enable_logging()
+    controller.submit(make_write(1, 0, 0b11))
+    engine.run(max_events=10_000)
+    text = render_occupancy(log, controller.geometry.chips_per_rank)
+    assert "W" in text and "c" in text

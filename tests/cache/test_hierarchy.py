@@ -1,0 +1,120 @@
+"""Unit tests for the DRAM cache and the three-level hierarchy."""
+
+import pytest
+
+from repro.cache.dram_cache import DramCache, DramCacheConfig
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.trace.record import AccessKind, TraceRecord
+
+LINE = 64
+
+
+def _tiny_hierarchy():
+    """Small caches so evictions actually happen in tests."""
+    return CacheHierarchy(
+        n_cores=2,
+        config=HierarchyConfig(
+            l1_size=4 * LINE,
+            l1_associativity=2,
+            l2_size=16 * LINE,
+            l2_associativity=2,
+            dram_cache=DramCacheConfig(size_bytes=64 * LINE, associativity=2),
+        ),
+    )
+
+
+def test_dram_cache_write_back_stream():
+    dram = DramCache(DramCacheConfig(size_bytes=2 * LINE, associativity=1))
+    dram.access(0, is_write=True)
+    hit, write_backs = dram.access(2 * LINE, is_write=False)  # same set
+    assert not hit
+    assert len(write_backs) == 1
+    assert write_backs[0].address == 0
+    assert dram.write_backs == 1
+
+
+def test_dram_cache_flush_drains_dirty_lines():
+    dram = DramCache(DramCacheConfig(size_bytes=8 * LINE, associativity=2))
+    dram.access(0, True)
+    dram.access(LINE, True)
+    dram.access(2 * LINE, False)
+    drained = dram.flush()
+    assert {e.address for e in drained} == {0, LINE}
+    assert all(e.dirty for e in drained)
+
+
+def test_first_touch_misses_to_memory():
+    hierarchy = _tiny_hierarchy()
+    outcome = hierarchy.reference(0, 0x1000, is_write=False)
+    assert outcome.hit_level == "memory"
+    assert outcome.fills == [0x1000]
+
+
+def test_second_touch_hits_l1():
+    hierarchy = _tiny_hierarchy()
+    hierarchy.reference(0, 0x1000, False)
+    outcome = hierarchy.reference(0, 0x1000, False)
+    assert outcome.hit_level == "l1"
+    assert not outcome.fills
+
+
+def test_l1_eviction_falls_to_l2():
+    hierarchy = _tiny_hierarchy()
+    hierarchy.reference(0, 0, False)
+    # Evict line 0 from the 4-line L1 by touching its set.
+    for i in range(1, 6):
+        hierarchy.reference(0, i * 2 * LINE * 2, False)
+    # The L2 should now serve line 0 if it was spilled there, or the
+    # reference at least must not crash and must come from below L1.
+    outcome = hierarchy.reference(0, 0, False)
+    assert outcome.hit_level in ("l1", "l2", "dram")
+
+
+def test_dirty_masks_propagate_to_memory_writebacks():
+    hierarchy = _tiny_hierarchy()
+    seen_masks = []
+    # Hammer stores at word 3 of many lines; tiny caches force dirty
+    # evictions all the way out to memory write-backs.
+    for i in range(400):
+        outcome = hierarchy.reference(0, i * LINE + 8 * 3, is_write=True)
+        for wb in outcome.write_backs:
+            seen_masks.append(wb.dirty_mask)
+    assert seen_masks, "expected memory-level write-backs"
+    assert all(mask & (1 << 3) for mask in seen_masks)
+
+
+def test_replay_produces_memory_level_trace():
+    hierarchy = _tiny_hierarchy()
+    records = [
+        TraceRecord(10, AccessKind.STORE, i * LINE + (i % 8) * 8)
+        for i in range(300)
+    ]
+    trace, levels = hierarchy.replay(0, records)
+    assert sum(levels.values()) == 300
+    assert levels["memory"] > 0
+    kinds = {r.kind for r in trace}
+    assert AccessKind.READ in kinds
+    assert AccessKind.WRITE_BACK in kinds
+    # Gaps are conserved: total gap in == total gap out (trailing gap of
+    # accesses that produced no memory event may be carried forward).
+    assert sum(r.gap_instructions for r in trace) <= 300 * 10
+
+
+def test_replay_rejects_memory_level_records():
+    hierarchy = _tiny_hierarchy()
+    with pytest.raises(ValueError):
+        hierarchy.replay(0, [TraceRecord(0, AccessKind.READ, 0)])
+
+
+def test_core_id_validated():
+    hierarchy = _tiny_hierarchy()
+    with pytest.raises(ValueError):
+        hierarchy.reference(5, 0, False)
+
+
+def test_per_core_l1s_are_private():
+    hierarchy = _tiny_hierarchy()
+    hierarchy.reference(0, 0, False)
+    outcome = hierarchy.reference(1, 0, False)
+    # Core 1 misses its own L1 but finds the line below.
+    assert outcome.hit_level in ("l2", "dram")

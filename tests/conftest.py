@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from typing import List, Optional
+
+import pytest
+
+from repro.core.systems import make_system
+from repro.memory.memsys import MainMemory, make_controller
+from repro.memory.request import MemoryRequest, RequestKind, make_read, make_write
+from repro.sim.engine import Engine
+
+
+class ControllerHarness:
+    """One channel controller plus its engine, for direct-drive tests.
+
+    Addresses are multiplied by (line size x channels) so everything the
+    test submits lands on channel 0 of the default 4-channel geometry.
+    """
+
+    def __init__(self, system_name: str = "baseline", seed: int = 1, **overrides):
+        self.config = make_system(system_name, **overrides)
+        self.engine = Engine()
+        self.controller = make_controller(
+            self.engine, self.config, channel_id=0, seed=seed
+        )
+        self._next_id = 0
+        self.submitted: List[MemoryRequest] = []
+
+    def _address(self, line_index: int) -> int:
+        # Stride over channels so the single controller owns every line.
+        return line_index * 64 * self.config.geometry.n_channels
+
+    def read(self, line_index: int) -> MemoryRequest:
+        self._next_id += 1
+        req = make_read(self._next_id, self._address(line_index))
+        self.controller.submit(req)
+        self.submitted.append(req)
+        return req
+
+    def write(self, line_index: int, dirty_mask: int) -> MemoryRequest:
+        self._next_id += 1
+        req = make_write(self._next_id, self._address(line_index), dirty_mask)
+        self.controller.submit(req)
+        self.submitted.append(req)
+        return req
+
+    def run(self, max_events: int = 100_000) -> None:
+        self.engine.run(max_events=max_events)
+
+    def run_until(self, tick: int) -> None:
+        self.engine.run(until=tick)
+
+    def all_done(self) -> bool:
+        return all(req.completion >= 0 for req in self.submitted)
+
+
+@pytest.fixture
+def baseline():
+    return ControllerHarness("baseline")
+
+
+@pytest.fixture
+def pcmap():
+    return ControllerHarness("rwow-rde")
+
+
+def harness(system_name: str, **overrides) -> ControllerHarness:
+    return ControllerHarness(system_name, **overrides)

@@ -1,0 +1,78 @@
+"""Unit tests for essential-word detection."""
+
+import pytest
+
+from repro.core.essential import EssentialWordDetector, EssentialWordStats, diff_words
+from repro.memory.request import make_read, make_write
+from repro.memory.storage import MemoryStorage
+
+
+def test_diff_words_basic():
+    old = tuple(range(8))
+    new = (0, 1, 99, 3, 4, 5, 6, 77)
+    assert diff_words(old, new) == (1 << 2) | (1 << 7)
+
+
+def test_diff_words_identical_is_zero():
+    words = tuple(range(8))
+    assert diff_words(words, words) == 0
+
+
+def test_diff_words_length_checked():
+    with pytest.raises(ValueError):
+        diff_words((1, 2), (1, 2))
+
+
+def test_detector_statistical_mode_trusts_mask():
+    detector = EssentialWordDetector()
+    req = make_write(1, 0, 0b101)
+    assert detector.detect(req) == 0b101
+    assert detector.stats.histogram[2] == 1
+
+
+def test_detector_rejects_reads():
+    detector = EssentialWordDetector()
+    with pytest.raises(ValueError):
+        detector.detect(make_read(1, 0))
+
+
+def test_detector_functional_mode_narrows_silent_words():
+    storage = MemoryStorage()
+    detector = EssentialWordDetector(storage)
+    old = storage.read_line(0).words
+    new = list(old)
+    new[3] ^= 0xF
+    # Cache claims words 3 and 5 dirty, but word 5 holds the same value:
+    # a silent store the read-before-write eliminates (paper §III-B).
+    req = make_write(1, 0, dirty_mask=0b101000, new_words=tuple(new))
+    mask = detector.detect(req)
+    assert mask == 0b1000
+    assert req.old_words == old
+
+
+def test_detector_functional_mode_full_compare_without_mask():
+    storage = MemoryStorage()
+    detector = EssentialWordDetector(storage)
+    old = storage.read_line(1).words
+    new = list(old)
+    new[0] ^= 1
+    new[7] ^= 1
+    req = make_write(2, 64, dirty_mask=0, new_words=tuple(new))
+    assert detector.detect(req) == 0b1000_0001
+
+
+def test_stats_fractions():
+    stats = EssentialWordStats()
+    for count in (1, 1, 2, 8, 0):
+        stats.record(count)
+    assert stats.total == 5
+    assert stats.fraction(1) == pytest.approx(0.4)
+    assert stats.fraction_at_most(2) == pytest.approx(0.8)
+    assert stats.mean_dirty_words == pytest.approx((1 + 1 + 2 + 8) / 5)
+
+
+def test_stats_empty():
+    stats = EssentialWordStats()
+    assert stats.fraction(1) == 0.0
+    assert stats.fraction_at_most(8) == 0.0
+    assert stats.mean_dirty_words == 0.0

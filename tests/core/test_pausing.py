@@ -1,0 +1,99 @@
+"""Unit tests for the write-pausing comparator controller."""
+
+import pytest
+
+from repro.core.pausing import WritePausingController
+from repro.core.systems import make_system
+from repro.memory.memsys import make_controller
+from repro.memory.timing import DEFAULT_TIMING
+from repro.sim.engine import Engine
+
+from tests.conftest import harness
+
+
+def test_factory_builds_pausing_controller():
+    controller = make_controller(Engine(), make_system("write-pausing"))
+    assert isinstance(controller, WritePausingController)
+
+
+def test_pausing_incompatible_with_pcmap():
+    with pytest.raises(ValueError):
+        make_system("write-pausing", fine_grained_writes=True)
+
+
+def test_write_completes_without_reads():
+    h = harness("write-pausing")
+    w = h.write(0, 0xFF)
+    h.run()
+    assert w.completion > 0
+    assert w.latency >= DEFAULT_TIMING.array_write_ticks
+    assert h.controller.pauses_taken == 0
+
+
+def test_read_preempts_ongoing_write():
+    h = harness("write-pausing")
+    w = h.write(0, 0xFF)
+    # Let the write get into its array phase, then submit a read.
+    h.run_until(h.engine.now + DEFAULT_TIMING.array_write_ticks // 3)
+    r = h.read(500)
+    h.run()
+    assert h.controller.pauses_taken >= 1
+    # The read finished before the (paused) write did.
+    assert r.completion < w.completion
+    assert w.completion > 0
+
+
+def test_pausing_beats_baseline_read_latency_for_sparse_writes():
+    """Pausing pays off when reads land mid-write outside drains (its
+    design point); during drains it behaves like the baseline."""
+
+    def read_latency(system):
+        h = harness(system)
+        latencies = []
+        for i in range(12):
+            h.write(i, 0xFF)
+            h.run_until(h.engine.now + DEFAULT_TIMING.array_write_ticks // 3)
+            r = h.read(1000 + i)
+            h.run_until(h.engine.now + 4 * DEFAULT_TIMING.array_write_ticks)
+            latencies.append(r)
+        h.run()
+        return sum(r.latency for r in latencies) / len(latencies)
+
+    assert read_latency("write-pausing") < read_latency("baseline")
+
+
+def test_pause_budget_bounds_write_latency():
+    h = harness("write-pausing")
+    w = h.write(0, 0xFF)
+    h.run_until(h.engine.now + DEFAULT_TIMING.array_write_ticks // 4)
+    # A stream of reads tries to starve the write.
+    for i in range(12):
+        try:
+            h.read(2000 + i)
+        except OverflowError:
+            break
+    h.run()
+    assert w.completion > 0
+    # At most MAX_PAUSES pauses were taken for this write.
+    assert h.controller.pauses_taken <= WritePausingController.MAX_PAUSES
+
+
+def test_all_requests_complete_under_mixed_load():
+    h = harness("write-pausing")
+    import random
+
+    rng = random.Random(3)
+    for i in range(60):
+        if rng.random() < 0.4:
+            try:
+                h.read(rng.randrange(1 << 12))
+            except OverflowError:
+                pass
+        else:
+            try:
+                h.write(rng.randrange(1 << 12), rng.randrange(1, 256))
+            except OverflowError:
+                pass
+        h.run_until(h.engine.now + 400)
+    h.run()
+    assert h.all_done()

@@ -1,0 +1,56 @@
+"""Unit tests for the DIMM status register."""
+
+from repro.core.status import DimmStatusRegister
+from repro.memory.rank import RankState
+from repro.memory.timing import DEFAULT_TIMING
+
+
+def _register():
+    rank = RankState(DEFAULT_TIMING, n_chips=10, n_banks=8)
+    return rank, DimmStatusRegister(rank, DEFAULT_TIMING)
+
+
+def test_poll_idle_rank():
+    _rank, register = _register()
+    snapshot = register.poll(now=0)
+    assert snapshot.busy_chips == ()
+    assert snapshot.busy_mask() == 0
+    assert register.polls == 1
+
+
+def test_poll_reflects_busy_chips():
+    rank, register = _register()
+    rank.reserve_chip_write(2, 0, 1000, None)
+    rank.reserve_chip_write(9, 3, 500, None)
+    snapshot = register.poll(now=100)
+    assert snapshot.busy_chips == (2, 9)
+    assert snapshot.is_busy(2) and snapshot.is_busy(9)
+    assert not snapshot.is_busy(0)
+    assert snapshot.busy_mask() == (1 << 2) | (1 << 9)
+
+
+def test_poll_response_latency_matches_paper():
+    _rank, register = _register()
+    snapshot = register.poll(now=100)
+    # 2 memory cycles = 0.8 ns = 8 ticks (§IV-D1).
+    assert snapshot.ready_time == 100 + 8
+
+
+def test_busy_clears_after_completion():
+    rank, register = _register()
+    rank.reserve_chip_write(5, 0, 300, None)
+    assert register.poll(now=299).busy_chips == (5,)
+    assert register.poll(now=300).busy_chips == ()
+
+
+def test_idle_chips_complement():
+    rank, register = _register()
+    rank.reserve_chip_write(0, 0, 100, None)
+    rank.reserve_chip_write(1, 0, 100, None)
+    assert register.idle_chips(now=50) == tuple(range(2, 10))
+
+
+def test_reads_do_not_set_busy_flags():
+    rank, register = _register()
+    rank.reserve_read([0, 1, 2], bank=0, end=1000, row=1)
+    assert register.poll(now=10).busy_chips == ()

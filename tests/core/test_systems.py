@@ -1,0 +1,71 @@
+"""Unit tests for the six evaluated system variants (paper §V)."""
+
+import pytest
+
+from repro.core.systems import (
+    PCMAP_SYSTEM_NAMES,
+    SYSTEM_NAMES,
+    all_systems,
+    make_system,
+)
+
+
+def test_six_systems_defined():
+    assert SYSTEM_NAMES == [
+        "baseline", "row-nr", "wow-nr", "rwow-nr", "rwow-rd", "rwow-rde",
+    ]
+    assert PCMAP_SYSTEM_NAMES == SYSTEM_NAMES[1:]
+
+
+def test_baseline_features():
+    config = make_system("baseline")
+    assert not config.fine_grained_writes
+    assert not config.enable_row and not config.enable_wow
+    assert not config.geometry.has_pcc_chip
+
+
+@pytest.mark.parametrize("name", PCMAP_SYSTEM_NAMES)
+def test_pcmap_variants_have_pcc_and_fine_writes(name):
+    config = make_system(name)
+    assert config.fine_grained_writes
+    assert config.geometry.has_pcc_chip
+    assert config.name == name
+
+
+def test_feature_matrix():
+    expectations = {
+        "row-nr": (True, False, False, False),
+        "wow-nr": (False, True, False, False),
+        "rwow-nr": (True, True, False, False),
+        "rwow-rd": (True, True, True, False),
+        "rwow-rde": (True, True, True, True),
+    }
+    for name, (row, wow, rot_data, rot_ecc) in expectations.items():
+        config = make_system(name)
+        assert config.enable_row is row, name
+        assert config.enable_wow is wow, name
+        assert config.rotate_data is rot_data, name
+        assert config.rotate_ecc is rot_ecc, name
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        make_system("turbo")
+
+
+def test_overrides_forwarded():
+    config = make_system("rwow-rde", wow_max_group=4)
+    assert config.wow_max_group == 4
+
+
+def test_all_systems_shares_overrides():
+    systems = all_systems(read_queue_capacity=16)
+    assert len(systems) == 6
+    assert all(s.read_queue_capacity == 16 for s in systems)
+
+
+def test_name_override_via_factory():
+    from repro.core.systems import make_rwow_rde
+
+    config = make_rwow_rde(name="pcmap-full")
+    assert config.name == "pcmap-full"

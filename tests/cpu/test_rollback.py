@@ -1,0 +1,22 @@
+"""Unit tests for the rollback cost model."""
+
+from repro.cpu.rollback import RollbackModel
+
+
+def test_penalty_is_flush_plus_refetch():
+    model = RollbackModel(flush_cycles=40, refetch_cycles=60)
+    assert model.penalty_cycles == 100
+
+
+def test_on_rollback_accumulates():
+    model = RollbackModel(flush_cycles=10, refetch_cycles=5)
+    assert model.on_rollback() == 15
+    assert model.on_rollback() == 15
+    assert model.rollbacks == 2
+    assert model.penalty_cycles_total == 30
+
+
+def test_fresh_model_has_no_cost():
+    model = RollbackModel()
+    assert model.rollbacks == 0
+    assert model.penalty_cycles_total == 0

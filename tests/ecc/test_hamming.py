@@ -1,0 +1,155 @@
+"""Unit + property tests for the Hamming(72,64) SECDED code."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import hamming
+from repro.ecc.hamming import DecodeStatus
+
+WORDS = st.integers(min_value=0, max_value=(1 << 64) - 1)
+POSITIONS = st.integers(min_value=0, max_value=71)
+
+
+def test_encode_zero_word():
+    assert hamming.encode(0) == 0
+
+
+def test_clean_roundtrip_simple():
+    data = 0xDEADBEEF_12345678
+    check = hamming.encode(data)
+    result = hamming.decode(data, check)
+    assert result.status is DecodeStatus.CLEAN
+    assert result.data == data
+    assert result.ok
+
+
+def test_encode_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        hamming.encode(1 << 64)
+    with pytest.raises(ValueError):
+        hamming.encode(-1)
+
+
+def test_decode_rejects_bad_check_byte():
+    with pytest.raises(ValueError):
+        hamming.decode(0, 0x100)
+
+
+@given(WORDS)
+@settings(max_examples=200)
+def test_property_clean_roundtrip(data):
+    check = hamming.encode(data)
+    result = hamming.decode(data, check)
+    assert result.status is DecodeStatus.CLEAN
+    assert result.data == data
+
+
+@given(WORDS, POSITIONS)
+@settings(max_examples=200)
+def test_property_single_bit_error_corrected(data, position):
+    check = hamming.encode(data)
+    bad_data, bad_check = hamming.inject_error(data, check, (position,))
+    result = hamming.decode(bad_data, bad_check)
+    assert result.ok
+    assert result.data == data
+    assert result.status in (
+        DecodeStatus.CORRECTED_DATA,
+        DecodeStatus.CORRECTED_CHECK,
+    )
+
+
+@given(WORDS, st.lists(POSITIONS, min_size=2, max_size=2, unique=True))
+@settings(max_examples=200)
+def test_property_double_bit_error_detected(data, positions):
+    check = hamming.encode(data)
+    bad_data, bad_check = hamming.inject_error(data, check, tuple(positions))
+    result = hamming.decode(bad_data, bad_check)
+    assert result.status is DecodeStatus.DOUBLE_ERROR
+    assert not result.ok
+
+
+def test_every_data_bit_position_corrects():
+    data = 0xA5A5_A5A5_5A5A_5A5A
+    check = hamming.encode(data)
+    corrected_data_positions = 0
+    for position in range(72):
+        bad_data, bad_check = hamming.inject_error(data, check, (position,))
+        result = hamming.decode(bad_data, bad_check)
+        assert result.data == data, f"position {position} failed"
+        if result.status is DecodeStatus.CORRECTED_DATA:
+            corrected_data_positions += 1
+    assert corrected_data_positions == 64  # the 64 data-bit positions
+
+
+def test_flipped_data_bit_changes_data_then_fixed():
+    data = 0x1
+    check = hamming.encode(data)
+    bad_data, bad_check = hamming.inject_error(data, check, (3,))
+    assert bad_data != data  # position 3 is a data bit
+    result = hamming.decode(bad_data, bad_check)
+    assert result.status is DecodeStatus.CORRECTED_DATA
+    assert result.data == data
+
+
+def test_overall_parity_bit_flip_reported_as_check_fix():
+    data = 0xFFFF_0000_FFFF_0000
+    check = hamming.encode(data)
+    bad_data, bad_check = hamming.inject_error(data, check, (0,))
+    assert bad_data == data
+    result = hamming.decode(bad_data, bad_check)
+    assert result.status is DecodeStatus.CORRECTED_CHECK
+    assert result.flipped_position == 0
+
+
+def test_inject_error_position_out_of_range():
+    with pytest.raises(ValueError):
+        hamming.inject_error(0, 0, (72,))
+
+
+def test_inject_error_twice_same_position_is_identity():
+    data = 0x1234_5678_9ABC_DEF0
+    check = hamming.encode(data)
+    d1, c1 = hamming.inject_error(data, check, (17,))
+    d2, c2 = hamming.inject_error(d1, c1, (17,))
+    assert (d2, c2) == (data, check)
+
+
+def test_encode_line_produces_eight_checks():
+    words = tuple(range(8))
+    checks = hamming.encode_line(words)
+    assert len(checks) == 8
+    assert checks == tuple(hamming.encode(w) for w in words)
+
+
+def test_decode_line_roundtrip():
+    words = tuple((w * 0x9E3779B97F4A7C15) & ((1 << 64) - 1) for w in range(8))
+    checks = hamming.encode_line(words)
+    decoded, results = hamming.decode_line(words, checks)
+    assert decoded == words
+    assert all(r.status is DecodeStatus.CLEAN for r in results)
+
+
+def test_decode_line_length_mismatch():
+    with pytest.raises(ValueError):
+        hamming.decode_line((1, 2), (3,))
+
+
+def test_decode_line_corrects_one_word():
+    words = tuple(range(100, 108))
+    checks = hamming.encode_line(words)
+    corrupted = list(words)
+    corrupted[5] ^= 1 << 30
+    decoded, results = hamming.decode_line(tuple(corrupted), checks)
+    assert decoded == words
+    assert results[5].status is DecodeStatus.CORRECTED_DATA
+
+
+@given(WORDS, WORDS)
+@settings(max_examples=100)
+def test_property_distinct_words_rarely_share_codewords(a, b):
+    # Not a strict code property, but encode must be a function: equal
+    # inputs give equal checks, and decode(a, encode(a)) never reports an
+    # error.
+    if a == b:
+        assert hamming.encode(a) == hamming.encode(b)
+    assert hamming.decode(a, hamming.encode(a)).status is DecodeStatus.CLEAN

@@ -1,0 +1,63 @@
+"""Unit tests for the PCM energy model."""
+
+import pytest
+
+from repro.memory.power import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.sim.metrics import MemoryStats
+
+
+def _stats(reads=0, chip_writes=None, verifies=0, silents=0, writes=0):
+    stats = MemoryStats()
+    stats.reads_completed = reads
+    stats.writes_completed = writes
+    stats.verify_count = verifies
+    stats.silent_writes = silents
+    stats.chip_word_writes = dict(chip_writes or {})
+    return stats
+
+
+def test_empty_run_has_zero_energy():
+    assert DEFAULT_ENERGY_MODEL.run_energy_uj(MemoryStats()) == 0.0
+
+
+def test_reads_contribute_line_read_energy():
+    model = EnergyModel(line_read_nj=2.0)
+    stats = _stats(reads=500)
+    assert model.run_energy_uj(stats) == pytest.approx(1.0)  # 1000 nJ
+
+
+def test_code_updates_split_from_data_writes():
+    model = EnergyModel(word_write_nj=1.0, code_update_nj=0.5)
+    stats = _stats(chip_writes={0: 10, 8: 10, 9: 10})
+    # 10 data words + 20 code updates.
+    assert model.run_energy_uj(stats) == pytest.approx(
+        (10 * 1.0 + 20 * 0.5) / 1000.0
+    )
+
+
+def test_verify_and_silent_costs_counted():
+    model = EnergyModel(verify_read_nj=1.0, compare_nj=2.0)
+    stats = _stats(verifies=3, silents=4)
+    assert model.run_energy_uj(stats) == pytest.approx((3 + 8) / 1000.0)
+
+
+def test_energy_per_request():
+    model = EnergyModel(line_read_nj=1.0)
+    stats = _stats(reads=10, writes=0)
+    assert model.energy_per_request_nj(stats) == pytest.approx(1.0)
+    assert model.energy_per_request_nj(MemoryStats()) == 0.0
+
+
+def test_end_to_end_energy_is_positive_and_comparable():
+    from repro.sim.experiment import run_workload
+    from repro.sim.simulator import SimulationParams
+
+    params = SimulationParams(instructions_per_core=5_000, n_cores=2)
+    base = run_workload("canneal", "baseline", params)
+    pcmap = run_workload("canneal", "rwow-rde", params)
+    e_base = DEFAULT_ENERGY_MODEL.run_energy_uj(base.memory)
+    e_pcmap = DEFAULT_ENERGY_MODEL.run_energy_uj(pcmap.memory)
+    assert e_base > 0 and e_pcmap > 0
+    # PCMap adds PCC updates and verify reads: some energy overhead, but
+    # bounded (well under 2x).
+    assert e_pcmap < 2.0 * e_base

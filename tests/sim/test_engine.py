@@ -1,0 +1,146 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, ns_to_ticks, ticks_to_ns
+
+
+def test_ns_tick_conversion_roundtrip():
+    assert ns_to_ticks(2.5) == 25
+    assert ticks_to_ns(25) == 2.5
+
+
+def test_ns_to_ticks_rounds():
+    assert ns_to_ticks(0.84) == 8
+    assert ns_to_ticks(0.86) == 9
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(30, lambda: fired.append("c"))
+    engine.schedule_at(10, lambda: fired.append("a"))
+    engine.schedule_at(20, lambda: fired.append("b"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_tick_events_fire_in_schedule_order():
+    engine = Engine()
+    fired = []
+    for label in "abcde":
+        engine.schedule_at(5, lambda label=label: fired.append(label))
+    engine.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(42, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [42]
+    assert engine.now == 42
+
+
+def test_schedule_after_is_relative():
+    engine = Engine()
+    times = []
+    engine.schedule_at(10, lambda: engine.schedule_after(5, lambda: times.append(engine.now)))
+    engine.run()
+    assert times == [15]
+
+
+def test_cannot_schedule_in_the_past():
+    engine = Engine()
+    engine.schedule_at(10, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.schedule_after(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule_at(10, lambda: fired.append("x"))
+    handle.cancel()
+    engine.run()
+    assert fired == []
+
+
+def test_cancelled_event_skipped_by_peek():
+    engine = Engine()
+    handle = engine.schedule_at(10, lambda: None)
+    engine.schedule_at(20, lambda: None)
+    handle.cancel()
+    assert engine.peek_time() == 20
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(10, lambda: fired.append(10))
+    engine.schedule_at(100, lambda: fired.append(100))
+    engine.run(until=50)
+    assert fired == [10]
+    assert engine.now == 50
+    engine.run()
+    assert fired == [10, 100]
+
+
+def test_run_until_advances_clock_when_queue_drains():
+    engine = Engine()
+    engine.run(until=77)
+    assert engine.now == 77
+
+
+def test_run_max_events_budget():
+    engine = Engine()
+    fired = []
+    for i in range(10):
+        engine.schedule_at(i + 1, lambda i=i: fired.append(i))
+    count = engine.run(max_events=3)
+    assert count == 3
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_when_idle():
+    engine = Engine()
+    assert engine.step() is False
+
+
+def test_pending_counts_live_events_only():
+    engine = Engine()
+    handle = engine.schedule_at(10, lambda: None)
+    engine.schedule_at(20, lambda: None)
+    assert engine.pending() == 2
+    handle.cancel()
+    assert engine.pending() == 1
+
+
+def test_events_scheduled_during_run_are_processed():
+    engine = Engine()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 5:
+            engine.schedule_after(10, lambda: chain(depth + 1))
+
+    engine.schedule_at(0, lambda: chain(0))
+    engine.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert engine.now == 50
+
+
+def test_run_returns_event_count():
+    engine = Engine()
+    for i in range(7):
+        engine.schedule_at(i, lambda: None)
+    assert engine.run() == 7

@@ -1,0 +1,69 @@
+"""Unit tests for result persistence."""
+
+import pytest
+
+from repro.sim.metrics import MemoryStats, SimulationResult
+from repro.sim.results_io import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+
+
+def _result():
+    stats = MemoryStats()
+    stats.record_read(100, delayed=True)
+    stats.record_write(3)
+    stats.record_chip_write(2)
+    stats.record_chip_write(9)
+    return SimulationResult(
+        system_name="rwow-rde",
+        workload_name="canneal",
+        sim_ticks=12345,
+        instructions=1000,
+        cpu_cycles=800,
+        memory=stats,
+        irlp_average=3.14,
+        irlp_max=7.0,
+        write_service_busy_ticks=999,
+    )
+
+
+def test_dict_roundtrip():
+    original = _result()
+    restored = result_from_dict(result_to_dict(original))
+    assert restored.system_name == original.system_name
+    assert restored.ipc == original.ipc
+    assert restored.memory.chip_word_writes == {2: 1, 9: 1}
+    assert restored.memory.dirty_word_histogram == (
+        original.memory.dirty_word_histogram
+    )
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "results.json"
+    results = [_result(), _result()]
+    assert save_results(path, results) == 2
+    loaded = load_results(path)
+    assert len(loaded) == 2
+    assert loaded[0].irlp_average == pytest.approx(3.14)
+
+
+def test_schema_version_checked():
+    data = result_to_dict(_result())
+    data["schema"] = 99
+    with pytest.raises(ValueError):
+        result_from_dict(data)
+
+
+def test_load_rejects_non_list(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{}")
+    with pytest.raises(ValueError):
+        load_results(path)
+
+
+def test_convenience_fields_present():
+    data = result_to_dict(_result())
+    assert "ipc" in data and "write_throughput" in data

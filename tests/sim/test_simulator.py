@@ -1,0 +1,72 @@
+"""Unit tests for the full-system driver."""
+
+import pytest
+
+from repro.core.systems import make_system
+from repro.sim.simulator import SimulationParams, SystemSimulator, simulate
+from repro.trace.workloads import get_workload
+
+FAST = SimulationParams(instructions_per_core=4_000, n_cores=2)
+
+
+def test_simulate_by_workload_name():
+    result = simulate(make_system("baseline"), "canneal", FAST)
+    assert result.workload_name == "canneal"
+    assert result.system_name == "baseline"
+    assert result.instructions == 2 * 4_000
+
+
+def test_simulate_by_profile_object():
+    profile = get_workload("MP2")
+    result = simulate(make_system("baseline"), profile, FAST)
+    assert result.workload_name == "MP2"
+
+
+def test_rollback_rate_wired_from_workload():
+    sim = SystemSimulator(make_system("row-nr"), "canneal", FAST)
+    assert sim.system.row_rollback_rate == pytest.approx(0.058)
+
+
+def test_explicit_rollback_rate_not_overridden():
+    system = make_system("row-nr", row_rollback_rate=0.5)
+    sim = SystemSimulator(system, "canneal", FAST)
+    assert sim.system.row_rollback_rate == 0.5
+
+
+def test_baseline_does_not_need_rollback_rate():
+    sim = SystemSimulator(make_system("baseline"), "canneal", FAST)
+    assert sim.system.row_rollback_rate == 0.0
+
+
+def test_resolve_instructions_fixed():
+    params = SimulationParams(instructions_per_core=123)
+    assert params.resolve_instructions(get_workload("canneal")) == 123
+
+
+def test_resolve_instructions_by_target_requests():
+    params = SimulationParams(target_requests=8_000, n_cores=8)
+    canneal = params.resolve_instructions(get_workload("canneal"))
+    gromacs = params.resolve_instructions(get_workload("gromacs"))
+    # Lighter workloads get proportionally more instructions.
+    assert gromacs > canneal
+    mpki = get_workload("canneal").mpki
+    assert canneal == pytest.approx(8_000 * 1000 / (mpki * 8), rel=0.01)
+
+
+def test_resolve_instructions_floor():
+    params = SimulationParams(target_requests=1)
+    assert params.resolve_instructions(get_workload("canneal")) == 5_000
+
+
+def test_run_twice_is_an_error_free_fresh_build():
+    # Each SystemSimulator is single-use; building two is independent.
+    a = SystemSimulator(make_system("baseline"), "MP3", FAST).run()
+    b = SystemSimulator(make_system("baseline"), "MP3", FAST).run()
+    assert a.ipc == b.ipc
+
+
+def test_result_contains_memory_stats():
+    result = simulate(make_system("rwow-rde"), "canneal", FAST)
+    assert result.memory.reads_completed > 0
+    assert result.cpu_cycles > 0
+    assert result.sim_ticks > 0

@@ -1,0 +1,53 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_workloads(capsys):
+    assert main(["list-workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "canneal" in out and "MP1" in out and "stream-triad" in out
+
+
+def test_list_systems(capsys):
+    assert main(["list-systems"]) == 0
+    out = capsys.readouterr().out
+    assert "rwow-rde" in out and "write-pausing" in out
+
+
+def test_run_command(capsys):
+    assert main([
+        "run", "--workload", "MP3", "--system", "baseline",
+        "--requests", "300", "--cores", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out and "baseline" in out
+
+
+def test_compare_command(capsys):
+    assert main([
+        "compare", "--workload", "MP3",
+        "--systems", "baseline,rwow-rde",
+        "--requests", "300", "--cores", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "rwow-rde" in out
+    assert "IPC improvement" in out
+
+
+def test_gen_trace_roundtrip(tmp_path, capsys):
+    out_file = tmp_path / "t.trace"
+    assert main([
+        "gen-trace", "--workload", "canneal",
+        "--count", "50", "--out", str(out_file),
+    ]) == 0
+    from repro.trace.trace_io import load_trace
+
+    assert len(load_trace(out_file)) == 50
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,36 @@
+"""Tests for the top-level package API and misc wrappers."""
+
+import pytest
+
+import repro
+from repro.sim.simulator import SimulationParams
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_run_workload_wrapper():
+    result = repro.run_workload(
+        "MP3",
+        repro.make_system("baseline"),
+        params=SimulationParams(instructions_per_core=3_000, n_cores=2),
+    )
+    assert result.ipc > 0
+    assert result.workload_name == "MP3"
+
+
+def test_public_names_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_system_names_exported():
+    assert repro.SYSTEM_NAMES[0] == "baseline"
+    assert len(repro.PCMAP_SYSTEM_NAMES) == 5
+
+
+def test_make_read_write_exported():
+    read = repro.make_read(1, 64)
+    write = repro.make_write(2, 128, 0b1)
+    assert read.is_read and write.is_write

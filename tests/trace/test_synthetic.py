@@ -1,0 +1,130 @@
+"""Statistical tests for the synthetic trace generator."""
+
+import collections
+
+import pytest
+
+from repro.memory.request import LINE_BYTES
+from repro.trace.record import AccessKind
+from repro.trace.synthetic import SyntheticTraceGenerator
+from repro.trace.workloads import ALL_WORKLOADS, get_workload
+
+
+def _sample(name, n=20_000, seed=7, **kwargs):
+    generator = SyntheticTraceGenerator(get_workload(name), seed=seed, **kwargs)
+    return generator.take(n)
+
+
+def test_generator_is_deterministic():
+    a = _sample("canneal", n=500)
+    b = _sample("canneal", n=500)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = SyntheticTraceGenerator(get_workload("canneal"), seed=1).take(200)
+    b = SyntheticTraceGenerator(get_workload("canneal"), seed=2).take(200)
+    assert a != b
+
+
+def test_addresses_line_aligned():
+    for record in _sample("MP1", n=2000):
+        assert record.address % LINE_BYTES == 0
+
+
+@pytest.mark.parametrize("name", ["canneal", "MP4", "cactusADM", "freqmine"])
+def test_rpki_wpki_within_tolerance(name):
+    workload = get_workload(name)
+    records = _sample(name, n=30_000)
+    instructions = sum(r.gap_instructions for r in records)
+    reads = sum(1 for r in records if r.kind is AccessKind.READ)
+    writes = len(records) - reads
+    rpki = reads / instructions * 1000
+    wpki = writes / instructions * 1000
+    assert rpki == pytest.approx(workload.rpki, rel=0.15)
+    assert wpki == pytest.approx(workload.wpki, rel=0.15)
+
+
+def test_dirty_distribution_matches_profile():
+    workload = get_workload("cactusADM")
+    records = _sample("cactusADM", n=40_000)
+    counts = collections.Counter(
+        bin(r.dirty_mask).count("1")
+        for r in records
+        if r.kind is AccessKind.WRITE_BACK
+    )
+    total = sum(counts.values())
+    for i, expected in enumerate(workload.dirty_word_distribution):
+        observed = counts.get(i, 0) / total
+        assert observed == pytest.approx(expected, abs=0.03), f"{i} words"
+
+
+def test_offset_correlation_visible():
+    """With correlation 0.32, successive write-backs share offsets far
+    more often than with correlation 0."""
+    import dataclasses
+
+    def same_mask_fraction(correlation):
+        profile = dataclasses.replace(
+            get_workload("canneal"), offset_correlation=correlation
+        )
+        generator = SyntheticTraceGenerator(profile, seed=11)
+        records = [
+            r for r in generator.take(40_000)
+            if r.kind is AccessKind.WRITE_BACK and r.dirty_mask
+        ]
+        same = sum(
+            1
+            for a, b in zip(records, records[1:])
+            if a.dirty_mask == b.dirty_mask
+        )
+        return same / (len(records) - 1)
+
+    assert same_mask_fraction(0.32) > 1.5 * same_mask_fraction(0.0)
+
+
+def test_offset_bias_favours_low_words():
+    records = _sample("MP4", n=40_000)
+    word_counts = [0] * 8
+    for record in records:
+        for w in range(8):
+            if (record.dirty_mask >> w) & 1:
+                word_counts[w] += 1
+    assert word_counts[0] > word_counts[7]
+
+
+def test_mp_cores_have_disjoint_footprints():
+    gen0 = SyntheticTraceGenerator(get_workload("MP1"), seed=1, core_id=0)
+    gen1 = SyntheticTraceGenerator(get_workload("MP1"), seed=1, core_id=1)
+    lines0 = {r.line_address for r in gen0.take(2000)}
+    lines1 = {r.line_address for r in gen1.take(2000)}
+    assert not lines0 & lines1
+
+
+def test_mt_cores_share_footprint():
+    gen0 = SyntheticTraceGenerator(get_workload("canneal"), seed=1, core_id=0)
+    gen1 = SyntheticTraceGenerator(get_workload("canneal"), seed=1, core_id=1)
+    lines0 = {r.line_address for r in gen0.take(4000)}
+    lines1 = {r.line_address for r in gen1.take(4000)}
+    assert lines0 & lines1
+
+
+def test_every_workload_generates():
+    for workload in ALL_WORKLOADS:
+        generator = SyntheticTraceGenerator(workload, seed=3)
+        records = generator.take(50)
+        assert len(records) == 50
+
+
+def test_write_bursts_exist():
+    records = _sample("canneal", n=10_000)
+    kinds = [r.kind for r in records]
+    runs = 0
+    current = 0
+    for kind in kinds:
+        if kind is AccessKind.WRITE_BACK:
+            current += 1
+            runs = max(runs, current)
+        else:
+            current = 0
+    assert runs >= 3  # eviction waves produce back-to-back write-backs
