@@ -12,12 +12,12 @@ rotation targets.
 
 from repro.analysis import format_table
 from repro.sim.experiment import run_workload
-from repro.trace.workloads import get_workload
 
 from benchmarks.common import SWEEP_PARAMS, write_report
 
 SYSTEMS = ("baseline", "rwow-nr", "rwow-rd", "rwow-rde")
 _RESULTS = {}
+_PROFILES = []
 
 
 def _run() -> dict:
@@ -25,6 +25,7 @@ def _run() -> dict:
         return _RESULTS
     for system_name in SYSTEMS:
         result = run_workload("canneal", system_name, SWEEP_PARAMS)
+        _PROFILES.append(result)
         stats = result.memory
         _RESULTS[system_name] = {
             "imbalance": stats.chip_write_imbalance(),
@@ -55,7 +56,7 @@ def _build_report() -> str:
 
 def test_ablation_rotation_wear(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("ablation_rotation_wear", report)
+    write_report("ablation_rotation_wear", report, runs=_PROFILES)
 
     results = _run()
     # Fixed layouts hammer the ECC/PCC chips and the low-offset data

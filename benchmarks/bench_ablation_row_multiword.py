@@ -17,6 +17,7 @@ from benchmarks.common import SWEEP_PARAMS, write_report
 WORD_LIMITS = (1, 2, 3)
 WORKLOADS = ("canneal", "MP1")
 _RESULTS = {}
+_PROFILES = []
 
 
 def _run() -> dict:
@@ -24,12 +25,14 @@ def _run() -> dict:
         return _RESULTS
     for workload in WORKLOADS:
         base = run_workload(workload, make_system("baseline"), SWEEP_PARAMS)
+        _PROFILES.append(base)
         for limit in WORD_LIMITS:
             result = run_workload(
                 workload,
                 make_system("rwow-rde", row_max_essential_words=limit),
                 SWEEP_PARAMS,
             )
+            _PROFILES.append(result)
             _RESULTS[(workload, limit)] = {
                 "gain": result.ipc / base.ipc - 1.0,
                 "row_reads": result.memory.row_reads,
@@ -65,7 +68,7 @@ def _build_report() -> str:
 
 def test_ablation_row_multiword(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("ablation_row_multiword", report)
+    write_report("ablation_row_multiword", report, runs=_PROFILES)
 
     results = _run()
     for workload in WORKLOADS:

@@ -15,9 +15,11 @@ from benchmarks.common import SWEEP_PARAMS, write_report
 WORKLOAD = "canneal"
 
 
-def _gain(system, baseline_system):
+def _gain(system, baseline_system, profiles=None):
     base = run_workload(WORKLOAD, baseline_system, SWEEP_PARAMS)
     result = run_workload(WORKLOAD, system, SWEEP_PARAMS)
+    if profiles is not None:
+        profiles.extend([base, result])
     return result.ipc / base.ipc - 1.0, result
 
 
@@ -25,12 +27,14 @@ def _gain(system, baseline_system):
 # Drain watermark (alpha)
 # ----------------------------------------------------------------------
 def test_ablation_drain_watermark(benchmark):
+    profiles = []
+
     def run():
         rows = []
         for alpha in (0.6, 0.8, 0.9):
             base = make_system("baseline", drain_high_watermark=alpha)
             pcmap = make_system("rwow-rde", drain_high_watermark=alpha)
-            gain, result = _gain(pcmap, base)
+            gain, result = _gain(pcmap, base, profiles)
             rows.append(
                 [f"{alpha:.1f}", percent(gain), f"{result.irlp_average:.2f}",
                  result.memory.drain_entries]
@@ -42,13 +46,15 @@ def test_ablation_drain_watermark(benchmark):
         )
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
-    write_report("ablation_drain_watermark", report)
+    write_report("ablation_drain_watermark", report, runs=profiles)
 
 
 # ----------------------------------------------------------------------
 # ECC update cost fraction
 # ----------------------------------------------------------------------
 def test_ablation_ecc_cost(benchmark):
+    profiles = []
+
     def run():
         rows = []
         for fraction in (0.5, 0.85, 1.0):
@@ -58,7 +64,7 @@ def test_ablation_ecc_cost(benchmark):
             base = make_system("baseline", timing=timing)
             for name in ("rwow-nr", "rwow-rde"):
                 gain, _result = _gain(
-                    make_system(name, timing=timing), base
+                    make_system(name, timing=timing), base, profiles
                 )
                 rows.append([f"{fraction:.2f}", name, percent(gain)])
         return format_table(
@@ -72,19 +78,23 @@ def test_ablation_ecc_cost(benchmark):
         )
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
-    write_report("ablation_ecc_cost", report)
+    write_report("ablation_ecc_cost", report, runs=profiles)
 
 
 # ----------------------------------------------------------------------
 # SET/RESET write asymmetry
 # ----------------------------------------------------------------------
 def test_ablation_set_reset(benchmark):
+    profiles = []
+
     def run():
         rows = []
         for mode in (WriteLatencyMode.FIXED, WriteLatencyMode.SET_RESET):
             timing = dataclasses.replace(DEFAULT_TIMING, write_mode=mode)
             base = make_system("baseline", timing=timing)
-            gain, result = _gain(make_system("rwow-rde", timing=timing), base)
+            gain, result = _gain(
+                make_system("rwow-rde", timing=timing), base, profiles
+            )
             rows.append(
                 [mode.value, percent(gain), f"{result.irlp_average:.2f}"]
             )
@@ -98,4 +108,4 @@ def test_ablation_set_reset(benchmark):
         )
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
-    write_report("ablation_set_reset", report)
+    write_report("ablation_set_reset", report, runs=profiles)

@@ -16,6 +16,7 @@ from benchmarks.common import SWEEP_PARAMS, write_report
 
 WORKLOAD = "canneal"
 _RESULTS = {}
+_PROFILES = []
 
 
 def _run() -> dict:
@@ -23,6 +24,7 @@ def _run() -> dict:
         return _RESULTS
     for name in SYSTEM_NAMES:
         result = run_workload(WORKLOAD, name, SWEEP_PARAMS)
+        _PROFILES.append(result)
         _RESULTS[name] = {
             "per_request_nj": DEFAULT_ENERGY_MODEL.energy_per_request_nj(
                 result.memory
@@ -63,7 +65,7 @@ def _build_report() -> str:
 
 def test_ext_energy(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("ext_energy", report)
+    write_report("ext_energy", report, runs=_PROFILES)
 
     results = _run()
     base = results["baseline"]["per_request_nj"]

@@ -46,7 +46,7 @@ def _build_report() -> str:
 
 def test_ext_write_pausing(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("ext_write_pausing", report)
+    write_report("ext_write_pausing", report, runs=_run())
 
     comparisons = _run()
     for comparison in comparisons:

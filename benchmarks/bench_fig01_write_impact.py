@@ -17,6 +17,7 @@ from repro.trace.workloads import SPEC_SINGLES
 from benchmarks.common import SWEEP_PARAMS, write_report
 
 _RESULTS = {}
+_PROFILES = []
 
 
 def _run() -> dict:
@@ -27,6 +28,7 @@ def _run() -> dict:
     for workload in SPEC_SINGLES:
         a = run_workload(workload, asym, SWEEP_PARAMS)
         s = run_workload(workload, sym, SWEEP_PARAMS)
+        _PROFILES.extend([a, s])
         inflation = (
             a.mean_read_latency_ns / s.mean_read_latency_ns
             if s.mean_read_latency_ns
@@ -57,7 +59,7 @@ def _build_report() -> str:
 
 def test_fig01_write_impact(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("fig01_write_impact", report)
+    write_report("fig01_write_impact", report, runs=_PROFILES)
 
     results = _run()
     delayed = [d for d, _ in results.values()]

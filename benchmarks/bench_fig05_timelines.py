@@ -88,6 +88,7 @@ def test_fig05_row_timeline(benchmark):
         f"{read_c.latency / 10:.0f} ns ({read_c.service_class.value})",
         f"  RoW reads served in parallel with writes: "
         f"{controller.stats.row_reads}",
+        f"  engine events dispatched: {controller.engine.events_dispatched}",
     ]
     write_report("fig05_row_timeline", "\n".join(lines))
 
@@ -112,6 +113,9 @@ def test_fig05_wow_timeline(benchmark):
     lines.append(
         f"  groups formed: {controller.stats.wow_groups}, "
         f"members: {controller.stats.wow_member_writes}"
+    )
+    lines.append(
+        f"  engine events dispatched: {controller.engine.events_dispatched}"
     )
     write_report("fig05_wow_timeline", "\n".join(lines))
 

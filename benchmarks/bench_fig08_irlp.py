@@ -33,7 +33,7 @@ def _build_report() -> str:
 
 def test_fig08_irlp(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("fig08_irlp", report)
+    write_report("fig08_irlp", report, runs=figure_sweep())
 
     comparisons = figure_sweep()
     baseline = [c.irlp("baseline") for c in comparisons]

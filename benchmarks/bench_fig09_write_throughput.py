@@ -37,7 +37,7 @@ def _build_report() -> str:
 
 def test_fig09_write_throughput(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("fig09_write_throughput", report)
+    write_report("fig09_write_throughput", report, runs=figure_sweep())
 
     comparisons = figure_sweep()
 

@@ -35,7 +35,7 @@ def _build_report() -> str:
 
 def test_fig10_read_latency(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("fig10_read_latency", report)
+    write_report("fig10_read_latency", report, runs=figure_sweep())
 
     comparisons = figure_sweep()
 

@@ -37,7 +37,7 @@ def _build_report() -> str:
 
 def test_fig11_ipc(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("fig11_ipc", report)
+    write_report("fig11_ipc", report, runs=figure_sweep())
 
     comparisons = figure_sweep()
 

@@ -18,6 +18,7 @@ WORKLOADS = ("canneal", "MP1", "MP4")
 SYSTEMS = ("rwow-nr", "rwow-rde")
 
 _RESULTS = {}
+_PROFILES = []
 
 
 def _run() -> dict:
@@ -30,6 +31,7 @@ def _run() -> dict:
             for workload in WORKLOADS:
                 result = run_workload(workload, system, SWEEP_PARAMS)
                 _RESULTS[(ratio, system_name, workload)] = result.ipc
+                _PROFILES.append(result)
     return _RESULTS
 
 
@@ -61,7 +63,7 @@ def _build_report() -> str:
 
 def test_tab3_latency_ratio(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("tab3_latency_ratio", report)
+    write_report("tab3_latency_ratio", report, runs=_PROFILES)
 
     results = _run()
     nr_gains = [_gain(results, ratio, "rwow-nr") for ratio in RATIOS]

@@ -17,6 +17,7 @@ from repro.trace.workloads import TABLE4_NAMES, get_workload
 from benchmarks.common import SWEEP_PARAMS, write_report
 
 _RESULTS = {}
+_PROFILES = []
 
 
 def _run() -> dict:
@@ -40,6 +41,7 @@ def _run() -> dict:
             make_system("row-nr", row_rollback_rate=1e-12),
             SWEEP_PARAMS,
         )
+        _PROFILES.extend([base, faulty, clean])
         _RESULTS[name] = {
             "rate": workload.rollback_rate,
             "faulty_gain": faulty.ipc / base.ipc - 1.0,
@@ -80,7 +82,7 @@ def _build_report() -> str:
 
 def test_tab4_rollback(benchmark):
     report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
-    write_report("tab4_rollback", report)
+    write_report("tab4_rollback", report, runs=_PROFILES)
 
     results = _run()
     for name, data in results.items():

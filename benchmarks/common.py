@@ -11,10 +11,11 @@ experiment.
 from __future__ import annotations
 
 import os
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.sim.experiment import SystemComparison, sweep_workloads
 from repro.sim.simulator import SimulationParams
+from repro.telemetry import RunProfile
 from repro.trace.workloads import FIGURE_MP_NAMES, FIGURE_MT_NAMES
 
 #: Workloads plotted in Figures 8-11 (six PARSEC + six SPEC mixes).
@@ -37,8 +38,44 @@ def figure_sweep() -> List[SystemComparison]:
     return _SWEEP_CACHE["figures"]
 
 
-def write_report(name: str, text: str) -> str:
-    """Persist a benchmark's report; returns the path."""
+def telemetry_summary(runs: Iterable[object]) -> str:
+    """Merged engine-profile line for a batch of simulation runs.
+
+    Accepts any mix of :class:`~repro.sim.metrics.SimulationResult`,
+    :class:`~repro.sim.experiment.SystemComparison` and bare
+    :class:`~repro.telemetry.RunProfile` items; merges the per-run
+    profiles (events dispatched, wall seconds) into one line so every
+    benchmark report ends with its simulation cost — the number that
+    makes hot-path regressions visible across report revisions.
+    """
+    merged = RunProfile()
+    count = 0
+    for item in runs:
+        if isinstance(item, SystemComparison):
+            profiles = [r.profile for r in item.results.values()]
+        elif isinstance(item, RunProfile):
+            profiles = [item]
+        else:
+            profiles = [getattr(item, "profile", None)]
+        for profile in profiles:
+            if profile is not None:
+                merged.merge(profile)
+                count += 1
+    if count == 0:
+        return "telemetry: no engine profiles recorded"
+    return f"telemetry: {count} runs; {merged.summary()}"
+
+
+def write_report(
+    name: str, text: str, runs: Optional[Iterable[object]] = None
+) -> str:
+    """Persist a benchmark's report; returns the path.
+
+    When ``runs`` is given, the merged :func:`telemetry_summary` line is
+    appended to the report so the simulation cost is archived with it.
+    """
+    if runs is not None:
+        text = f"{text}\n\n{telemetry_summary(runs)}"
     os.makedirs(_RESULTS_DIR, exist_ok=True)
     path = os.path.join(_RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as handle:

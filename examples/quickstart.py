@@ -12,7 +12,6 @@ Run:  python examples/quickstart.py [workload]
 
 import sys
 
-from repro import make_system
 from repro.analysis import format_table, percent
 from repro.sim.experiment import compare_systems
 from repro.sim.simulator import SimulationParams

@@ -1,6 +1,11 @@
 """Result analysis and report formatting for the benchmark harness."""
 
-from repro.analysis.timeline import occupancy_summary, render_occupancy
+from repro.analysis.timeline import (
+    occupancy_from_trace,
+    occupancy_summary,
+    render_occupancy,
+    render_trace_occupancy,
+)
 from repro.analysis.report import (
     FigureSeries,
     figure_report,
@@ -11,8 +16,10 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "occupancy_from_trace",
     "occupancy_summary",
     "render_occupancy",
+    "render_trace_occupancy",
     "FigureSeries",
     "figure_report",
     "format_table",

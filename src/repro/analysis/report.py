@@ -8,7 +8,7 @@ figures.  EXPERIMENTS.md records one captured output per experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.sim.metrics import SimulationResult
 

@@ -5,6 +5,12 @@ Controllers log chip reservations through
 logged :class:`~repro.memory.rank.OccupancyEvent` list into a
 one-row-per-chip, one-column-per-time-slice text grid, the visual the
 paper uses to explain RoW and WoW (Figure 5).
+
+The same grid can be rendered from a *recorded trace* instead of a live
+occupancy log: :func:`occupancy_from_trace` lifts the ``chip.reserve``
+events of a :class:`repro.telemetry.TraceEvent` stream (in-memory, or
+loaded back from a JSONL file) into occupancy events, and
+:func:`render_trace_occupancy` goes straight from trace to grid.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.memory.rank import OccupancyEvent
 from repro.sim.engine import ticks_to_ns
+from repro.telemetry import EventType, TraceEvent
 
 #: Mark precedence when several events cover the same cell (write work is
 #: the most interesting, idle the least).
@@ -89,6 +96,57 @@ def _default_chip_names(n_chips: int) -> List[str]:
     if n_chips == 9:
         return [f"chip {c}" for c in range(8)] + ["ECC"]
     return [f"chip {c}" for c in range(n_chips)]
+
+
+def occupancy_from_trace(
+    events: Iterable[TraceEvent],
+    channel: Optional[int] = None,
+    rank: Optional[int] = None,
+) -> List[OccupancyEvent]:
+    """Lift ``chip.reserve`` trace events into occupancy events.
+
+    ``channel``/``rank`` filter to one resource domain (``None`` keeps
+    all, which only makes sense for single-channel harness runs).  The
+    returned list feeds :func:`render_occupancy` and
+    :func:`occupancy_summary` unchanged, so a saved JSONL trace can
+    regenerate the Figure-5 grid long after the run.
+    """
+    lifted: List[OccupancyEvent] = []
+    for event in events:
+        if event.type is not EventType.CHIP_RESERVE:
+            continue
+        if channel is not None and event.channel != channel:
+            continue
+        if rank is not None and event.rank != rank:
+            continue
+        lifted.append(OccupancyEvent(
+            kind=event.kind,
+            chip=event.chip,
+            bank=event.bank,
+            start=event.start,
+            end=event.end,
+            label=event.reason,
+        ))
+    return lifted
+
+
+def render_trace_occupancy(
+    events: Iterable[TraceEvent],
+    n_chips: int,
+    title: str = "",
+    tick_step: int = 250,
+    chip_names: Optional[Sequence[str]] = None,
+    channel: Optional[int] = None,
+    rank: Optional[int] = None,
+) -> str:
+    """Render the occupancy grid directly from a recorded trace."""
+    return render_occupancy(
+        occupancy_from_trace(events, channel, rank),
+        n_chips,
+        title=title,
+        tick_step=tick_step,
+        chip_names=chip_names,
+    )
 
 
 def occupancy_summary(events: Iterable[OccupancyEvent]) -> dict:

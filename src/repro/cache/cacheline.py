@@ -9,7 +9,7 @@ themselves so evictions can carry real data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.memory.request import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE

@@ -9,7 +9,7 @@ and the per-word dirty masks of evicted lines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.cacheline import CacheLine, line_base, word_index

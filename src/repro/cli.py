@@ -8,18 +8,35 @@ Commands::
     python -m repro compare --workload canneal [--systems a,b,c]
     python -m repro sweep --workloads canneal,MP1 [--systems ...]
     python -m repro gen-trace --workload MP1 --count 1000 --out mp1.trace
+    python -m repro trace --workload canneal --system rwow-rde \\
+        --out run.trace.json [--jsonl run.jsonl] [--buffer N]
+    python -m repro stats --workload canneal --system rwow-rde [--json]
+
+``trace`` records the structured telemetry events of one run and exports
+them as a Chrome trace (open in ``chrome://tracing`` or Perfetto; chips
+appear as per-rank threads), optionally alongside the raw JSONL event
+stream.  ``stats`` runs one simulation with the always-on metrics
+registry and dumps every counter/gauge/histogram — ``--json`` for tools,
+a table for humans.  See docs/TELEMETRY.md for the event taxonomy.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.analysis import format_table, percent, ratio
+from repro.analysis import format_table, percent
 from repro.core.systems import SYSTEM_NAMES, make_system
 from repro.sim.experiment import compare_systems, run_workload
 from repro.sim.simulator import SimulationParams
+from repro.telemetry import (
+    JsonlSink,
+    RingBufferSink,
+    Telemetry,
+    write_chrome_trace,
+)
 from repro.trace.synthetic import SyntheticTraceGenerator
 from repro.trace.trace_io import save_trace
 from repro.trace.workloads import ALL_WORKLOADS, get_workload
@@ -107,6 +124,67 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run once with tracing on; export a Chrome trace (and maybe JSONL)."""
+    ring = RingBufferSink(capacity=args.buffer)
+    sinks: List[object] = [ring]
+    jsonl: Optional[JsonlSink] = None
+    if args.jsonl:
+        jsonl = JsonlSink(args.jsonl)
+        sinks.append(jsonl)
+    telemetry = Telemetry.recording(sinks)
+    result = run_workload(args.workload, args.system, _params(args), telemetry)
+    if jsonl is not None:
+        jsonl.close()
+
+    system = make_system(args.system)
+    written = write_chrome_trace(
+        args.out,
+        ring.events,
+        chips_per_rank=system.geometry.chips_per_rank,
+        label=f"{args.workload} on {args.system} (seed {args.seed})",
+    )
+    print(format_table(_RESULT_HEADERS, [_result_row(result)],
+                       title=f"workload {args.workload}"))
+    recorded = ring.total_seen
+    print(f"\nrecorded {recorded} events"
+          + (f" (kept last {len(ring.events)}, "
+             f"{ring.evicted} evicted)" if ring.evicted else ""))
+    print(f"wrote {written} Chrome trace events to {args.out} "
+          "(open in chrome://tracing or https://ui.perfetto.dev)")
+    if args.jsonl:
+        print(f"wrote {jsonl.written} JSONL events to {args.jsonl}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run once and dump the full metrics registry."""
+    telemetry = Telemetry.disabled()
+    result = run_workload(args.workload, args.system, _params(args), telemetry)
+    dump = telemetry.metrics.as_dict()
+    if args.json:
+        print(json.dumps(dump, indent=1))
+        return 0
+    rows = []
+    for name, data in dump.items():
+        if data["type"] == "histogram":
+            value = (f"count={data['count']} mean={data['mean']:.1f} "
+                     f"max={data['max']}")
+        elif data["type"] == "gauge":
+            value = f"{data['value']} (max {data['max']})"
+        else:
+            value = str(data["value"])
+        rows.append([name, data["type"], value])
+    print(format_table(_RESULT_HEADERS, [_result_row(result)],
+                       title=f"workload {args.workload}"))
+    print()
+    print(format_table(["metric", "type", "value"], rows,
+                       title="metrics registry"))
+    if result.profile is not None:
+        print(f"\n{result.profile.summary()}")
+    return 0
+
+
 def cmd_gen_trace(args: argparse.Namespace) -> int:
     generator = SyntheticTraceGenerator(
         get_workload(args.workload), seed=args.seed
@@ -150,6 +228,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--systems", help="comma-separated system names")
     add_common(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
+
+    trace_p = sub.add_parser(
+        "trace", help="record one run's telemetry as a Chrome trace"
+    )
+    trace_p.add_argument("--workload", required=True)
+    trace_p.add_argument("--system", default="rwow-rde")
+    trace_p.add_argument("--out", required=True,
+                         help="Chrome trace JSON output path")
+    trace_p.add_argument("--jsonl",
+                         help="also stream raw events to this JSONL file")
+    trace_p.add_argument("--buffer", type=int, default=1_000_000,
+                         help="ring-buffer capacity (most recent events kept)")
+    add_common(trace_p)
+    trace_p.set_defaults(func=cmd_trace)
+
+    stats_p = sub.add_parser(
+        "stats", help="run once and dump the metrics registry"
+    )
+    stats_p.add_argument("--workload", required=True)
+    stats_p.add_argument("--system", default="rwow-rde")
+    stats_p.add_argument("--json", action="store_true",
+                         help="emit the registry as JSON")
+    add_common(stats_p)
+    stats_p.set_defaults(func=cmd_stats)
 
     gen_p = sub.add_parser("gen-trace", help="export a synthetic trace file")
     gen_p.add_argument("--workload", required=True)

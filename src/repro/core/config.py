@@ -10,7 +10,6 @@ constructors for the paper's six variants live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.memory.address import (
     BASELINE_GEOMETRY,

@@ -35,6 +35,7 @@ from repro.memory.request import (
     WORDS_PER_LINE,
 )
 from repro.sim.metrics import WriteWindow
+from repro.telemetry import EventType, TraceEvent
 
 
 class PCMapController(MemoryController):
@@ -47,6 +48,16 @@ class PCMapController(MemoryController):
                 "PCMapController requires fine_grained_writes; "
                 "use MemoryController for the baseline"
             )
+        metrics = self.telemetry.metrics
+        self._m_row_attempts = metrics.counter("row.attempts")
+        self._m_row_windows = metrics.counter("row.windows")
+        self._m_row_reads = metrics.counter("row.reads")
+        self._m_row_overlap = metrics.counter("row.overlap_reads")
+        self._m_wow_groups = metrics.counter("wow.groups")
+        self._m_wow_members = metrics.counter("wow.member_writes")
+        self._m_rollbacks = metrics.counter("rollbacks")
+        self._m_verifications = metrics.counter("verifications")
+        self._m_row_declined = {}  # reason -> cached Counter
         self.status_registers = [
             DimmStatusRegister(rank, self.timing) for rank in self.ranks
         ]
@@ -124,17 +135,43 @@ class PCMapController(MemoryController):
         if head.dirty_count == 0:
             self._issue_silent_write(head, decoded, now)
             return True
-        use_row = (
-            self.config.enable_row
-            and head.dirty_count <= self.config.row_max_essential_words
-            and not self.read_q.empty
-            # Under critical write pressure a WoW group moves more data
-            # than a RoW window; prefer RoW once the queue is off-peak.
-            and not (
-                self.config.enable_wow and self.write_q.above_high_watermark
-            )
-            and self._row_window_useful(head, decoded, now)
-        )
+        use_row = False
+        if self.config.enable_row:
+            # The decline reason mirrors the short-circuit order of the
+            # scheduling predicate (§IV-D2) so traces explain decisions.
+            if head.dirty_count > self.config.row_max_essential_words:
+                decline = "too-many-essential-words"
+            elif self.read_q.empty:
+                decline = "no-queued-reads"
+            elif self.config.enable_wow and self.write_q.above_high_watermark:
+                # Under critical write pressure a WoW group moves more
+                # data than a RoW window; prefer RoW once off-peak.
+                decline = "write-pressure"
+            elif not self._row_window_useful(head, decoded, now):
+                decline = "no-overlappable-read"
+            else:
+                decline = ""
+                use_row = True
+            self._m_row_attempts.inc()
+            if self.tracer.enabled:
+                self.tracer.emit(TraceEvent(
+                    EventType.ROW_ATTEMPT,
+                    tick=now,
+                    channel=self.channel_id,
+                    rank=decoded.rank,
+                    req_id=head.req_id,
+                ))
+            if decline:
+                self._row_declined(decline)
+                if self.tracer.enabled:
+                    self.tracer.emit(TraceEvent(
+                        EventType.ROW_DECLINE,
+                        tick=now,
+                        channel=self.channel_id,
+                        rank=decoded.rank,
+                        req_id=head.req_id,
+                        reason=decline,
+                    ))
         if use_row:
             data_end = self._issue_row_window(head, decoded, now)
         elif self.config.enable_wow:
@@ -148,6 +185,14 @@ class PCMapController(MemoryController):
             self._write_engine_free[decoded.rank], data_end
         )
         return True
+
+    def _row_declined(self, reason: str) -> None:
+        """Bump the per-reason decline counter (cached per reason)."""
+        counter = self._m_row_declined.get(reason)
+        if counter is None:
+            counter = self.telemetry.metrics.counter(f"row.declined.{reason}")
+            self._m_row_declined[reason] = counter
+        counter.inc()
 
     # ==================================================================
     # Fine-grained writes (§IV-A2)
@@ -376,9 +421,27 @@ class PCMapController(MemoryController):
                 occupied_all.update(data | code)
 
         window = self._open_window(-1, -1)
+        grouped = len(members) > 1
+        if grouped and self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                EventType.WOW_OPEN,
+                tick=now,
+                channel=self.channel_id,
+                rank=decoded_head.rank,
+                req_id=head.req_id,
+                extra={"group_size": len(members)},
+            ))
+            for req, _decoded in members[1:]:
+                self.tracer.emit(TraceEvent(
+                    EventType.WOW_JOIN,
+                    tick=now,
+                    channel=self.channel_id,
+                    rank=decoded_head.rank,
+                    req_id=req.req_id,
+                ))
         group_service_end = now
         for req, decoded in members:
-            if len(members) > 1:
+            if grouped:
                 req.service_class = ServiceClass.WOW_MEMBER
             _start, _data_end, service_end = self._issue_fine_write(
                 req, decoded, now, window=window
@@ -387,9 +450,21 @@ class PCMapController(MemoryController):
             # updates of the whole group (Figure 5(d)): without rotation
             # this is what limits WoW's bandwidth gain.
             group_service_end = max(group_service_end, service_end)
-        if len(members) > 1:
+        if grouped:
             self.stats.wow_groups += 1
             self.stats.wow_member_writes += len(members)
+            self._m_wow_groups.inc()
+            self._m_wow_members.inc(len(members))
+            if self.tracer.enabled:
+                self.tracer.emit(TraceEvent(
+                    EventType.WOW_CLOSE,
+                    tick=now,
+                    channel=self.channel_id,
+                    rank=decoded_head.rank,
+                    req_id=head.req_id,
+                    end=group_service_end,
+                    extra={"group_size": len(members)},
+                ))
         return group_service_end
 
     # ==================================================================
@@ -440,6 +515,17 @@ class PCMapController(MemoryController):
         _start, data_end, _service_end = self._issue_fine_write(
             head, decoded, now, window=window, defer_pcc=True
         )
+        self._m_row_windows.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                EventType.ROW_SERVE,
+                tick=now,
+                channel=self.channel_id,
+                rank=decoded.rank,
+                req_id=head.req_id,
+                start=window.start,
+                end=window.end,
+            ))
         self._active_row_window[decoded.rank] = window
         self._active_row_reads[decoded.rank] = 0
         self._overlap_reads(decoded.rank, window, now)
@@ -519,10 +605,12 @@ class PCMapController(MemoryController):
                 ) + (pcc_chip,)
                 self._issue_overlap_read(req, decoded, recon_chips, missing, now)
                 self.stats.row_reads += 1
+                self._m_row_reads.inc()
                 issued += 1
             elif normal_start + read_cost <= deadline:
                 self._issue_overlap_read(req, decoded, normal_chips, None, now)
                 self.stats.row_normal_overlap_reads += 1
+                self._m_row_overlap.inc()
                 issued += 1
         self._active_row_reads[rank_index] += issued
 
@@ -551,6 +639,22 @@ class PCMapController(MemoryController):
 
         req.start_service = start
         req.delayed_by_write = True  # it arrived while a write was draining
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                EventType.REQUEST_ISSUE,
+                tick=now,
+                channel=self.channel_id,
+                rank=decoded.rank,
+                bank=bank,
+                req_id=req.req_id,
+                start=start,
+                end=end,
+                kind="read",
+                reason=(
+                    "row-overlap" if missing_word is None
+                    else "row-reconstruction"
+                ),
+            ))
         self._record_data_read_activity(decoded, missing_word, start, end)
 
         if missing_word is None:
@@ -629,6 +733,7 @@ class PCMapController(MemoryController):
         now = self.engine.now
         req.verify_completion = now
         self.stats.verify_count += 1
+        self._m_verifications.inc()
 
         corrupted = False
         if self.storage is not None and req.data_words is not None:
@@ -647,6 +752,16 @@ class PCMapController(MemoryController):
         if rollback:
             req.rolled_back = True
             self.stats.rollbacks += 1
+            self._m_rollbacks.inc()
+            if self.tracer.enabled:
+                self.tracer.emit(TraceEvent(
+                    EventType.ROLLBACK,
+                    tick=now,
+                    channel=self.channel_id,
+                    rank=decoded.rank,
+                    req_id=req.req_id,
+                    reason="corrupted" if corrupted else "consumed-early",
+                ))
         if req.on_verify is not None:
             req.on_verify(req, rollback)
         self._kick()

@@ -24,6 +24,7 @@ from repro.memory.address import DecodedAddress
 from repro.memory.bus import BusDirection
 from repro.memory.controller import MemoryController
 from repro.memory.request import MemoryRequest, ServiceClass
+from repro.telemetry import EventType, TraceEvent
 
 
 @dataclass
@@ -53,6 +54,7 @@ class WritePausingController(MemoryController):
         self._paused: Optional[_PausedWrite] = None
         self._write_active = False
         self.pauses_taken = 0
+        self._m_write_pauses = self.telemetry.metrics.counter("write.pauses")
 
     # ------------------------------------------------------------------
     @property
@@ -165,6 +167,18 @@ class WritePausingController(MemoryController):
                     req, decoded, left, pauses_used + 1, end + pause_budget
                 )
                 self.pauses_taken += 1
+                self._m_write_pauses.inc()
+                if self.tracer.enabled:
+                    self.tracer.emit(TraceEvent(
+                        EventType.WRITE_PAUSE,
+                        tick=self.engine.now,
+                        channel=self.channel_id,
+                        rank=decoded.rank,
+                        req_id=req.req_id,
+                        end=end + pause_budget,
+                        extra={"remaining_ticks": left,
+                               "pauses_used": pauses_used + 1},
+                    ))
                 self.engine.schedule_at(end + pause_budget, self._kick)
                 self._kick()
                 return
@@ -183,6 +197,16 @@ class WritePausingController(MemoryController):
             return False
         self._paused = None
         resume_at = now + self.timing.cycles(self.RESUME_OVERHEAD_CYCLES)
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                EventType.WRITE_RESUME,
+                tick=now,
+                channel=self.channel_id,
+                rank=paused.decoded.rank,
+                req_id=paused.request.req_id,
+                start=resume_at,
+                extra={"remaining_ticks": paused.remaining_ticks},
+            ))
         self._run_segment(
             paused.request,
             paused.decoded,

@@ -7,7 +7,6 @@ from typing import List, Optional
 from repro.cpu.core import CoreParams, TraceCore
 from repro.memory.memsys import MainMemory
 from repro.sim.engine import Engine
-from repro.trace.record import TraceRecord
 from repro.trace.synthetic import SyntheticTraceGenerator
 from repro.trace.workloads import WorkloadProfile
 

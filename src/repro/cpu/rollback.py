@@ -12,7 +12,7 @@ re-fetch of the corrected line from the controller's buffer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -40,8 +40,9 @@ from repro.memory.request import (
 )
 from repro.memory.storage import MemoryStorage
 from repro.memory.timing import WriteLatencyMode
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, ticks_to_ns
 from repro.sim.metrics import IrlpRecorder, MemoryStats, WriteWindow
+from repro.telemetry import EventType, Telemetry, TraceEvent
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.core.config import SystemConfig
@@ -57,6 +58,7 @@ class MemoryController:
         channel_id: int = 0,
         storage: Optional[MemoryStorage] = None,
         seed: int = 1,
+        telemetry: Optional[Telemetry] = None,
     ):
         # Runtime imports: repro.core builds on this module, so importing
         # its helpers at module scope would create an import cycle.
@@ -68,6 +70,8 @@ class MemoryController:
         self.timing = config.timing
         self.geometry = config.geometry
         self.channel_id = channel_id
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self.tracer = self.telemetry.tracer
         self.mapper = AddressMapper(config.geometry)
         self.layout = make_layout(
             config.geometry, config.rotate_data, config.rotate_ecc
@@ -86,8 +90,11 @@ class MemoryController:
                 config.timing,
                 config.geometry.chips_per_rank,
                 config.geometry.banks_per_rank,
+                channel=channel_id,
+                rank_index=rank,
+                tracer=self.tracer,
             )
-            for _ in range(config.geometry.ranks_per_channel)
+            for rank in range(config.geometry.ranks_per_channel)
         ]
         self.bus = ChannelBus(config.timing, config.geometry.chips_per_rank)
         self.storage = storage
@@ -101,6 +108,25 @@ class MemoryController:
         self._wake_time: Optional[int] = None
         self._open_windows: List[WriteWindow] = []
         self._in_kick = False
+
+        # Always-on metrics: instruments are fetched once here so the hot
+        # path pays attribute access + integer ops only.  The registry is
+        # shared across channels, so these counters aggregate globally.
+        metrics = self.telemetry.metrics
+        self.read_q.attach_metrics(metrics, f"ch{channel_id}.queue.read")
+        self.write_q.attach_metrics(metrics, f"ch{channel_id}.queue.write")
+        self._m_reads_enqueued = metrics.counter("requests.read.enqueued")
+        self._m_writes_enqueued = metrics.counter("requests.write.enqueued")
+        self._m_reads_completed = metrics.counter("reads.completed")
+        self._m_writes_completed = metrics.counter("writes.completed")
+        self._m_reads_forwarded = metrics.counter("reads.forwarded")
+        self._m_reads_delayed = metrics.counter("reads.delayed_by_write")
+        self._m_drain_entries = metrics.counter("drain.entries")
+        self._m_read_latency = metrics.histogram(
+            "read.latency_ns",
+            buckets=(50, 100, 150, 200, 300, 500, 750, 1000, 1500,
+                     2000, 4000, 8000, 16000),
+        )
 
     # ==================================================================
     # External interface
@@ -116,13 +142,23 @@ class MemoryController:
     def submit(self, request: MemoryRequest) -> None:
         """Accept a request; raises when the target queue is full."""
         request.arrival = self.engine.now
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                EventType.REQUEST_ENQUEUE,
+                tick=request.arrival,
+                channel=self.channel_id,
+                req_id=request.req_id,
+                kind=request.kind.value,
+            ))
         if request.is_read:
+            self._m_reads_enqueued.inc()
             if self._try_forward_read(request):
                 return
             self.read_q.push(request)
             if self.drain:
                 request.delayed_by_write = True
         else:
+            self._m_writes_enqueued.inc()
             self.detector.detect(request)
             self.stats.record_write(request.dirty_count)
             self.write_q.push(request)
@@ -170,8 +206,23 @@ class MemoryController:
         if not self.drain and self.write_q.above_high_watermark:
             self.drain = True
             self.stats.drain_entries += 1
+            self._m_drain_entries.inc()
+            if self.tracer.enabled:
+                self.tracer.emit(TraceEvent(
+                    EventType.DRAIN_ENTER,
+                    tick=self.engine.now,
+                    channel=self.channel_id,
+                    extra={"write_queue_depth": len(self.write_q)},
+                ))
         elif self.drain and self.write_q.below_low_watermark:
             self.drain = False
+            if self.tracer.enabled:
+                self.tracer.emit(TraceEvent(
+                    EventType.DRAIN_EXIT,
+                    tick=self.engine.now,
+                    channel=self.channel_id,
+                    extra={"write_queue_depth": len(self.write_q)},
+                ))
 
     # ------------------------------------------------------------------
     # Wake management
@@ -218,6 +269,16 @@ class MemoryController:
                         words[w] = write.new_words[w]
             req.data_words = tuple(words)
         self.stats.forwarded_reads += 1
+        self._m_reads_forwarded.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                EventType.REQUEST_ISSUE,
+                tick=self.engine.now,
+                channel=self.channel_id,
+                req_id=req.req_id,
+                kind="read",
+                reason="forwarded-from-write-queue",
+            ))
         end = self.engine.now + self.timing.read_io_ticks
         self.engine.schedule_at(end, lambda: self._complete_read(req))
         return True
@@ -264,6 +325,18 @@ class MemoryController:
         rank.reserve_read(chips, decoded.bank, bus_end, decoded.row, start=start)
 
         req.start_service = start
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                EventType.REQUEST_ISSUE,
+                tick=self.engine.now,
+                channel=self.channel_id,
+                rank=decoded.rank,
+                bank=decoded.bank,
+                req_id=req.req_id,
+                start=start,
+                end=bus_end,
+                kind="read",
+            ))
         if not req.delayed_by_write:
             req.delayed_by_write = any(
                 rank.chip_write_busy_until(c) > req.arrival for c in chips
@@ -278,6 +351,20 @@ class MemoryController:
     def _complete_read(self, req: MemoryRequest) -> None:
         req.complete(self.engine.now)
         self.stats.record_read(req.effective_latency, req.delayed_by_write)
+        self._m_reads_completed.inc()
+        if req.delayed_by_write:
+            self._m_reads_delayed.inc()
+        self._m_read_latency.observe(ticks_to_ns(req.effective_latency))
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                EventType.REQUEST_COMPLETE,
+                tick=self.engine.now,
+                channel=self.channel_id,
+                req_id=req.req_id,
+                kind="read",
+                reason=req.service_class.value,
+                extra={"latency_ns": ticks_to_ns(req.effective_latency)},
+            ))
         self._kick()
 
     # ==================================================================
@@ -357,6 +444,19 @@ class MemoryController:
         and back-pressure is physical.
         """
         req.start_service = start
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                EventType.REQUEST_ISSUE,
+                tick=self.engine.now,
+                channel=self.channel_id,
+                rank=decoded.rank,
+                bank=decoded.bank,
+                req_id=req.req_id,
+                start=start,
+                end=end,
+                kind="write",
+                reason=req.service_class.value,
+            ))
         if self.storage is not None and req.new_words is not None:
             self.storage.write_line(
                 decoded.line_address, req.new_words, req.dirty_mask
@@ -366,6 +466,16 @@ class MemoryController:
     def _complete_write(self, req: MemoryRequest) -> None:
         self.write_q.remove(req)
         req.complete(self.engine.now)
+        self._m_writes_completed.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                EventType.REQUEST_COMPLETE,
+                tick=self.engine.now,
+                channel=self.channel_id,
+                req_id=req.req_id,
+                kind="write",
+                reason=req.service_class.value,
+            ))
         self._kick()
 
     # ==================================================================

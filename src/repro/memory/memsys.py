@@ -15,6 +15,7 @@ from repro.memory.request import MemoryRequest, RequestKind
 from repro.memory.storage import MemoryStorage
 from repro.sim.engine import Engine
 from repro.sim.metrics import MemoryStats
+from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.core.config import SystemConfig
@@ -26,6 +27,7 @@ def make_controller(
     channel_id: int = 0,
     storage: Optional[MemoryStorage] = None,
     seed: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> MemoryController:
     """Build the right controller class for ``config``."""
     if config.is_pcmap:
@@ -33,12 +35,16 @@ def make_controller(
         # (core.controller subclasses memory.controller).
         from repro.core.controller import PCMapController
 
-        return PCMapController(engine, config, channel_id, storage, seed)
+        return PCMapController(
+            engine, config, channel_id, storage, seed, telemetry
+        )
     if getattr(config, "enable_write_pausing", False):
         from repro.core.pausing import WritePausingController
 
-        return WritePausingController(engine, config, channel_id, storage, seed)
-    return MemoryController(engine, config, channel_id, storage, seed)
+        return WritePausingController(
+            engine, config, channel_id, storage, seed, telemetry
+        )
+    return MemoryController(engine, config, channel_id, storage, seed, telemetry)
 
 
 class MainMemory:
@@ -50,15 +56,21 @@ class MainMemory:
         config: "SystemConfig",
         seed: int = 1,
         storage: Optional[MemoryStorage] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.engine = engine
         self.config = config
+        #: Shared tracer/registry bundle; every channel controller reports
+        #: into it, so its counters aggregate memory-wide.
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         self.mapper = AddressMapper(config.geometry)
         if storage is None and config.functional:
             storage = MemoryStorage(keep_pcc=config.geometry.has_pcc_chip)
         self.storage = storage
         self.controllers: List[MemoryController] = [
-            make_controller(engine, config, channel, storage, seed)
+            make_controller(
+                engine, config, channel, storage, seed, self.telemetry
+            )
             for channel in range(config.geometry.n_channels)
         ]
 

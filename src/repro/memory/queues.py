@@ -30,6 +30,22 @@ class RequestQueue:
         self._space_waiters: List[Callable[[], None]] = []
         #: Peak occupancy seen (for reporting).
         self.high_water = 0
+        # Optional telemetry instruments (attach_metrics); one is-None
+        # check per push/remove when unattached.
+        self._depth_gauge = None
+        self._push_counter = None
+        self._reject_counter = None
+
+    def attach_metrics(self, registry, prefix: str) -> None:
+        """Register depth/throughput instruments under ``prefix``.
+
+        ``<prefix>.depth`` (gauge, with max), ``<prefix>.pushed`` and
+        ``<prefix>.rejected`` (counters).  Instruments are cached so the
+        queue hot path pays attribute access + integer ops only.
+        """
+        self._depth_gauge = registry.gauge(f"{prefix}.depth")
+        self._push_counter = registry.counter(f"{prefix}.pushed")
+        self._reject_counter = registry.counter(f"{prefix}.rejected")
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -55,9 +71,14 @@ class RequestQueue:
     def offer(self, request: MemoryRequest) -> bool:
         """Append ``request`` if space allows; returns success."""
         if self.full:
+            if self._reject_counter is not None:
+                self._reject_counter.inc()
             return False
         self._entries.append(request)
         self.high_water = max(self.high_water, len(self._entries))
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(len(self._entries))
+            self._push_counter.inc()
         return True
 
     def push(self, request: MemoryRequest) -> None:
@@ -68,6 +89,8 @@ class RequestQueue:
     def remove(self, request: MemoryRequest) -> None:
         """Remove a specific entry (used when a request is issued)."""
         self._entries.remove(request)
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(len(self._entries))
         self._notify_space()
 
     def oldest(self) -> Optional[MemoryRequest]:

@@ -22,7 +22,7 @@ to decide when an operation may start, then reserve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.memory.timing import TimingParams
 
@@ -79,16 +79,33 @@ class ChipState:
 class RankState:
     """All chips of one rank plus helpers for multi-chip operations."""
 
-    def __init__(self, timing: TimingParams, n_chips: int, n_banks: int):
+    def __init__(
+        self,
+        timing: TimingParams,
+        n_chips: int,
+        n_banks: int,
+        channel: int = 0,
+        rank_index: int = 0,
+        tracer=None,
+    ):
         self.timing = timing
         self.n_chips = n_chips
         self.n_banks = n_banks
+        self.channel = channel
+        self.rank_index = rank_index
         self.chips: List[ChipState] = [ChipState(n_banks) for _ in range(n_chips)]
         #: When set (e.g. by the timeline example), every reservation is
         #: appended here as an :class:`OccupancyEvent`.
         self.occupancy_log: Optional[List[OccupancyEvent]] = None
         #: Label applied to logged events; controllers set it per request.
         self.log_label: str = ""
+        if tracer is None:
+            from repro.telemetry.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
+        #: Structured-event tracer; every reservation becomes a
+        #: ``chip.reserve``/``chip.release`` pair when tracing is on.
+        self.tracer = tracer
 
     def enable_logging(self) -> List[OccupancyEvent]:
         """Turn on occupancy logging; returns the (live) event list."""
@@ -100,6 +117,32 @@ class RankState:
             self.occupancy_log.append(
                 OccupancyEvent(kind, chip, bank, start, end, self.log_label)
             )
+        if self.tracer.enabled:
+            self._trace(kind, chip, bank, start, end)
+
+    def _trace(self, kind: str, chip: int, bank: int, start: int, end: int) -> None:
+        from repro.telemetry.tracer import EventType, TraceEvent
+
+        common = dict(
+            channel=self.channel,
+            rank=self.rank_index,
+            chip=chip,
+            bank=bank,
+            start=start,
+            end=end,
+            kind=kind,
+            reason=self.log_label,
+        )
+        self.tracer.emit(
+            TraceEvent(
+                EventType.CHIP_RESERVE,
+                tick=start if start >= 0 else end,
+                **common,
+            )
+        )
+        self.tracer.emit(
+            TraceEvent(EventType.CHIP_RELEASE, tick=end, **common)
+        )
 
     # ------------------------------------------------------------------
     # Queries

@@ -10,7 +10,7 @@ on real bits.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 LINE_BYTES = 64

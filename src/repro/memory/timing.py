@@ -20,7 +20,7 @@ Two deviations from Table I, both documented in DESIGN.md §5:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.sim.engine import ns_to_ticks
 

@@ -14,6 +14,7 @@ controller logic deterministic without fragile floating-point comparisons.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 #: Number of ticks per nanosecond.  One tick = 0.1 ns.
@@ -65,6 +66,23 @@ class Engine:
         self._seq = 0
         self.now: int = 0
         self._running = False
+        #: Total events fired over the engine's lifetime (always counted —
+        #: one integer increment; the telemetry profile reports it).
+        self.events_dispatched = 0
+        #: Optional callback-latency profiler (see ``enable_profiling``).
+        self.profiler = None
+
+    def enable_profiling(self, top_n: int = 10):
+        """Attach an :class:`~repro.telemetry.profiler.EngineProfiler`.
+
+        Timestamps every callback, keeping the ``top_n`` slowest.  This
+        roughly doubles per-event dispatch cost, so it is opt-in.
+        Returns the profiler for inspection.
+        """
+        from repro.telemetry.profiler import EngineProfiler
+
+        self.profiler = EngineProfiler(top_n)
+        return self.profiler
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -110,7 +128,15 @@ class Engine:
             if handle.cancelled:
                 continue
             self.now = time
-            handle.callback()
+            self.events_dispatched += 1
+            if self.profiler is not None:
+                start = perf_counter()
+                handle.callback()
+                self.profiler.record(
+                    perf_counter() - start, time, handle.callback
+                )
+            else:
+                handle.callback()
             return True
         return False
 

@@ -13,6 +13,7 @@ from repro.core.config import SystemConfig
 from repro.core.systems import SYSTEM_NAMES, make_system
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import SimulationParams, simulate
+from repro.telemetry import Telemetry
 from repro.trace.workloads import WorkloadProfile, get_workload
 
 
@@ -20,6 +21,7 @@ def run_workload(
     workload: Union[str, WorkloadProfile],
     system: Union[str, SystemConfig],
     params: Optional[SimulationParams] = None,
+    telemetry: Optional["Telemetry"] = None,
     **system_overrides,
 ) -> SimulationResult:
     """Run one workload on one system (by name or config)."""
@@ -27,7 +29,7 @@ def run_workload(
         system = make_system(system, **system_overrides)
     elif system_overrides:
         raise ValueError("overrides only apply when `system` is a name")
-    return simulate(system, workload, params)
+    return simulate(system, workload, params, telemetry)
 
 
 @dataclass

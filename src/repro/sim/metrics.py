@@ -12,9 +12,12 @@ deliberately excluded so the metric tops out at 8.0, matching the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.sim.engine import ticks_to_ns
+
+if TYPE_CHECKING:
+    from repro.telemetry.profiler import RunProfile
 
 
 def merge_intervals(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
@@ -270,6 +273,12 @@ class SimulationResult:
     irlp_average: float
     irlp_max: float
     write_service_busy_ticks: int
+    #: RNG seed the run used (-1 when unknown, e.g. hand-built results);
+    #: echoed into persisted result files for attributability.
+    seed: int = -1
+    #: Engine profile (events dispatched, wall seconds); populated by
+    #: :class:`repro.sim.simulator.SystemSimulator`, never persisted.
+    profile: Optional["RunProfile"] = None
 
     @property
     def ipc(self) -> float:

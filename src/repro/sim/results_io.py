@@ -9,6 +9,7 @@ a results file holds a list of them.
 from __future__ import annotations
 
 import json
+import subprocess
 from dataclasses import asdict
 from pathlib import Path
 from typing import List, Union
@@ -16,6 +17,35 @@ from typing import List, Union
 from repro.sim.metrics import MemoryStats, SimulationResult
 
 SCHEMA_VERSION = 1
+
+_CODE_VERSION: Union[str, None] = None
+
+
+def code_version() -> str:
+    """Identifier of the code state that produced a result.
+
+    ``git describe`` when the repository is available (memoised — one
+    subprocess per process), else the installed package version.  Stamped
+    into every persisted result so saved numbers stay attributable.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        try:
+            _CODE_VERSION = subprocess.run(
+                ["git", "describe", "--always", "--dirty", "--tags"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                cwd=Path(__file__).resolve().parent,
+                check=True,
+            ).stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            _CODE_VERSION = ""
+        if not _CODE_VERSION:
+            from repro import __version__
+
+            _CODE_VERSION = f"repro-{__version__}"
+    return _CODE_VERSION
 
 
 def result_to_dict(result: SimulationResult) -> dict:
@@ -30,6 +60,9 @@ def result_to_dict(result: SimulationResult) -> dict:
         "schema": SCHEMA_VERSION,
         "system": result.system_name,
         "workload": result.workload_name,
+        # Attribution header: which RNG seed and code state produced this.
+        "seed": result.seed,
+        "code_version": code_version(),
         "sim_ticks": result.sim_ticks,
         "instructions": result.instructions,
         "cpu_cycles": result.cpu_cycles,
@@ -67,6 +100,7 @@ def result_from_dict(data: dict) -> SimulationResult:
         irlp_average=data["irlp_average"],
         irlp_max=data["irlp_max"],
         write_service_busy_ticks=data["write_service_busy_ticks"],
+        seed=data.get("seed", -1),
     )
 
 

@@ -9,7 +9,7 @@ delayed-read fraction, rollbacks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.core.config import SystemConfig
@@ -18,6 +18,7 @@ from repro.cpu.multicore import Multicore
 from repro.memory.memsys import MainMemory
 from repro.sim.engine import Engine
 from repro.sim.metrics import SimulationResult
+from repro.telemetry import RunProfile, Telemetry, WallClock
 from repro.trace.workloads import WorkloadProfile, get_workload
 
 
@@ -55,6 +56,7 @@ class SystemSimulator:
         system: SystemConfig,
         workload: Union[str, WorkloadProfile],
         params: Optional[SimulationParams] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if isinstance(workload, str):
             workload = get_workload(workload)
@@ -66,8 +68,15 @@ class SystemSimulator:
             system = system.with_rollback_rate(workload.rollback_rate)
         self.system = system
 
+        #: Tracer + metrics bundle threaded through the controller stack;
+        #: defaults to metrics-only (tracing off, one attribute check per
+        #: emit site).
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         self.engine = Engine()
-        self.memory = MainMemory(self.engine, system, seed=self.params.seed)
+        self.memory = MainMemory(
+            self.engine, system, seed=self.params.seed,
+            telemetry=self.telemetry,
+        )
         self.multicore = Multicore(
             self.engine,
             self.memory,
@@ -81,20 +90,34 @@ class SystemSimulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute until every core retires its budget; collect metrics."""
-        self.multicore.start()
-        while not self.multicore.all_done:
-            if not self.engine.step():
-                raise RuntimeError(
-                    "simulation deadlocked: no pending events but cores "
-                    "have not finished"
-                )
-            if self.engine.now > self.params.max_ticks:
-                raise RuntimeError(
-                    f"simulation exceeded {self.params.max_ticks} ticks"
-                )
-        return self._collect()
+        with WallClock() as clock:
+            self.multicore.start()
+            while not self.multicore.all_done:
+                if not self.engine.step():
+                    raise RuntimeError(
+                        "simulation deadlocked: no pending events but cores "
+                        "have not finished"
+                    )
+                if self.engine.now > self.params.max_ticks:
+                    raise RuntimeError(
+                        f"simulation exceeded {self.params.max_ticks} ticks"
+                    )
+        return self._collect(clock.elapsed)
 
-    def _collect(self) -> SimulationResult:
+    def _profile(self, wall_seconds: float) -> RunProfile:
+        """Engine profile of the finished run (also fed to the registry)."""
+        profiler = self.engine.profiler
+        profile = RunProfile(
+            events_dispatched=self.engine.events_dispatched,
+            wall_seconds=wall_seconds,
+            slowest_callbacks=profiler.top() if profiler is not None else [],
+        )
+        metrics = self.telemetry.metrics
+        metrics.gauge("engine.events_dispatched").set(profile.events_dispatched)
+        metrics.gauge("engine.sim_ticks").set(self.engine.now)
+        return profile
+
+    def _collect(self, wall_seconds: float = 0.0) -> SimulationResult:
         stats = self.memory.aggregate_stats()
         return SimulationResult(
             system_name=self.system.name,
@@ -106,6 +129,8 @@ class SystemSimulator:
             irlp_average=self.memory.irlp_average(),
             irlp_max=self.memory.irlp_max(),
             write_service_busy_ticks=self.memory.write_service_busy_ticks(),
+            seed=self.params.seed,
+            profile=self._profile(wall_seconds),
         )
 
 
@@ -113,6 +138,7 @@ def simulate(
     system: SystemConfig,
     workload: Union[str, WorkloadProfile],
     params: Optional[SimulationParams] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SimulationResult:
     """One-shot convenience: build, run, return the result."""
-    return SystemSimulator(system, workload, params).run()
+    return SystemSimulator(system, workload, params, telemetry).run()

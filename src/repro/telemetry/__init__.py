@@ -1,0 +1,63 @@
+"""Simulator-wide telemetry: metrics registry, event tracing, profiling.
+
+Three cooperating pieces (docs/TELEMETRY.md has the full guide):
+
+* :class:`MetricsRegistry` — named counters, gauges and fixed-bucket
+  histograms.  Plain dict/int operations, cheap enough to stay always-on
+  in the single-threaded engine; controllers cache the instrument objects
+  they touch on the hot path.
+* :class:`Tracer` — structured, typed events (request lifecycle, RoW/WoW
+  decisions, rollbacks, write pauses, chip reservations) fanned out to
+  sinks: an in-memory ring buffer, a JSONL file, or both.  The default is
+  :data:`NULL_TRACER`, whose ``enabled`` flag keeps the tracing-off cost
+  of every emit site to a single attribute check.
+* :class:`EngineProfiler` / :class:`RunProfile` — events dispatched,
+  wall-clock seconds and (opt-in) callback-latency top-N for the event
+  engine, so hot-path regressions show up in benchmark output.
+
+:class:`Telemetry` bundles a tracer and a registry and is what the
+simulator threads through the controller stack.
+"""
+
+from repro.telemetry.chrome import to_chrome_trace, write_chrome_trace
+from repro.telemetry.profiler import EngineProfiler, RunProfile, WallClock
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import (
+    EventType,
+    JsonlSink,
+    ListSink,
+    NULL_TRACER,
+    NullTracer,
+    RingBufferSink,
+    Telemetry,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EventType",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Telemetry",
+    "RingBufferSink",
+    "ListSink",
+    "JsonlSink",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "EngineProfiler",
+    "RunProfile",
+    "WallClock",
+]

@@ -1,0 +1,163 @@
+"""Chrome-trace-format export (``chrome://tracing`` / Perfetto).
+
+Maps the simulator's resource hierarchy onto the trace event format's
+process/thread axes:
+
+* **process** (``pid``) — one per memory channel (pid = channel id);
+* **thread** (``tid``) — one lane per physical chip of each rank
+  (``tid = rank * chips_per_rank + chip``), named ``rank R chip C`` (or
+  ``... ECC``/``... PCC`` for the code chips of a 10-chip PCMap rank),
+  plus one ``scheduler`` lane per channel for controller decisions.
+
+Chip reservations become complete (``"ph": "X"``) duration events;
+scheduler decisions (RoW/WoW/rollback/pause/drain) become instant
+(``"ph": "i"``) events.  Timestamps are microseconds as the format
+requires (1 engine tick = 0.1 ns = 1e-4 us).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.telemetry.tracer import EventType, TraceEvent
+
+#: Engine ticks per Chrome-trace microsecond (tick = 0.1 ns).
+TICKS_PER_US = 10_000
+
+#: tid of the per-channel scheduler (decision) lane — far above any
+#: plausible rank*chips+chip value.
+SCHEDULER_TID = 10_000
+
+#: Event types rendered as duration events on chip lanes.
+_DURATION_TYPES = {EventType.CHIP_RESERVE}
+
+#: Event types rendered as instants on the scheduler lane.
+_INSTANT_TYPES = {
+    EventType.ROW_ATTEMPT,
+    EventType.ROW_SERVE,
+    EventType.ROW_DECLINE,
+    EventType.WOW_OPEN,
+    EventType.WOW_JOIN,
+    EventType.WOW_CLOSE,
+    EventType.ROLLBACK,
+    EventType.WRITE_PAUSE,
+    EventType.WRITE_RESUME,
+    EventType.DRAIN_ENTER,
+    EventType.DRAIN_EXIT,
+    EventType.REQUEST_ENQUEUE,
+    EventType.REQUEST_ISSUE,
+    EventType.REQUEST_COMPLETE,
+}
+
+
+def _ticks_to_us(ticks: int) -> float:
+    return ticks / TICKS_PER_US
+
+
+def _chip_name(chip: int, chips_per_rank: int) -> str:
+    """Human chip label mirroring the timeline module's convention."""
+    if chips_per_rank >= 10 and chip == chips_per_rank - 1:
+        return "PCC"
+    if chips_per_rank >= 9 and chip == chips_per_rank - (
+        2 if chips_per_rank >= 10 else 1
+    ):
+        return "ECC"
+    return f"chip {chip}"
+
+
+def to_chrome_trace(
+    events: Iterable[TraceEvent],
+    chips_per_rank: Optional[int] = None,
+    label: str = "",
+) -> dict:
+    """Convert trace events to a Chrome trace JSON document (a dict).
+
+    ``chips_per_rank`` sizes the rank->tid mapping; when omitted it is
+    inferred from the largest chip id seen.  Events are sorted so ``ts``
+    is monotonic, which some viewers require.
+    """
+    materialised: List[TraceEvent] = list(events)
+    if chips_per_rank is None:
+        max_chip = max((e.chip for e in materialised if e.chip >= 0), default=0)
+        chips_per_rank = max_chip + 1
+
+    trace_events: List[dict] = []
+    seen_threads = set()  # (pid, tid) pairs needing name metadata
+    seen_processes = set()
+
+    for event in sorted(materialised, key=lambda e: (e.tick, e.type.value)):
+        pid = max(event.channel, 0)
+        seen_processes.add(pid)
+        if event.type in _DURATION_TYPES and event.start >= 0:
+            rank = max(event.rank, 0)
+            tid = rank * chips_per_rank + max(event.chip, 0)
+            seen_threads.add((pid, tid, rank, event.chip))
+            name = event.reason or event.kind or event.type.value
+            trace_events.append({
+                "name": name,
+                "cat": event.kind or "occupancy",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": _ticks_to_us(event.start),
+                "dur": _ticks_to_us(max(event.end - event.start, 0)),
+                "args": {"bank": event.bank, "req_id": event.req_id},
+            })
+        elif event.type in _INSTANT_TYPES:
+            tid = SCHEDULER_TID
+            seen_threads.add((pid, tid, -1, -1))
+            args = {"req_id": event.req_id}
+            if event.reason:
+                args["reason"] = event.reason
+            if event.extra:
+                args.update(event.extra)
+            trace_events.append({
+                "name": event.type.value,
+                "cat": "scheduler",
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "ts": _ticks_to_us(event.tick),
+                "args": args,
+            })
+
+    metadata: List[dict] = []
+    for pid in sorted(seen_processes):
+        metadata.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"channel {pid}"},
+        })
+    for pid, tid, rank, chip in sorted(seen_threads):
+        if tid == SCHEDULER_TID:
+            thread_name = "scheduler"
+        else:
+            thread_name = f"rank {rank} {_chip_name(chip, chips_per_rank)}"
+        metadata.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": thread_name},
+        })
+
+    document = {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"source": "repro PCMap simulator"},
+    }
+    if label:
+        document["otherData"]["label"] = label
+    return document
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    events: Iterable[TraceEvent],
+    chips_per_rank: Optional[int] = None,
+    label: str = "",
+) -> int:
+    """Write the Chrome trace JSON for ``events``; returns event count."""
+    document = to_chrome_trace(events, chips_per_rank, label)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])

@@ -1,0 +1,266 @@
+"""Structured event tracing: typed events, sinks, and the null tracer.
+
+Every interesting moment in the simulator — request lifecycle steps,
+RoW/WoW scheduling decisions, rollbacks, write pauses, chip reservations —
+is an :class:`TraceEvent` with a type from :class:`EventType` plus a small
+set of integer coordinates (channel/rank/chip/bank/request) and an
+optional free-form ``extra`` mapping.
+
+Emit-site contract: hot paths guard every emission with::
+
+    if self.tracer.enabled:
+        self.tracer.emit(TraceEvent(...))
+
+so a disabled run (:data:`NULL_TRACER`) pays exactly one attribute check
+per site — no event object is built, no string is formatted.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Iterable, List, Optional, Union
+
+from repro.telemetry.registry import MetricsRegistry
+
+
+class EventType(str, enum.Enum):
+    """Taxonomy of traced moments (see docs/TELEMETRY.md)."""
+
+    # Request lifecycle
+    REQUEST_ENQUEUE = "request.enqueue"
+    REQUEST_ISSUE = "request.issue"
+    REQUEST_COMPLETE = "request.complete"
+    # RoW (read-over-write) decisions
+    ROW_ATTEMPT = "row.attempt"
+    ROW_SERVE = "row.serve"
+    ROW_DECLINE = "row.decline"
+    # WoW (write-over-write) grouping
+    WOW_OPEN = "wow.open"
+    WOW_JOIN = "wow.join"
+    WOW_CLOSE = "wow.close"
+    # Verification outcome
+    ROLLBACK = "rollback"
+    # Write pausing (prior-art comparator controller)
+    WRITE_PAUSE = "write.pause"
+    WRITE_RESUME = "write.resume"
+    # Resource occupancy
+    CHIP_RESERVE = "chip.reserve"
+    CHIP_RELEASE = "chip.release"
+    # Drain-mode transitions
+    DRAIN_ENTER = "drain.enter"
+    DRAIN_EXIT = "drain.exit"
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record.
+
+    ``tick`` is the engine time the event was emitted; occupancy events
+    additionally carry the reserved ``[start, end)`` span.  Unset integer
+    coordinates stay at -1 so records serialise compactly and uniformly.
+    (Events are only constructed when tracing is on, so the dataclass
+    stays a plain one — no ``slots`` micro-tuning needed.)
+    """
+
+    type: EventType
+    tick: int
+    channel: int = -1
+    rank: int = -1
+    chip: int = -1
+    bank: int = -1
+    req_id: int = -1
+    start: int = -1
+    end: int = -1
+    kind: str = ""      #: "read"/"write" for occupancy and request events
+    reason: str = ""    #: decline reason, pause cause, completion class...
+    extra: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        """Compact JSON-safe form: only non-default fields are kept."""
+        record = {"type": self.type.value, "tick": self.tick}
+        for key in ("channel", "rank", "chip", "bank", "req_id", "start", "end"):
+            value = getattr(self, key)
+            if value != -1:
+                record[key] = value
+        if self.kind:
+            record["kind"] = self.kind
+        if self.reason:
+            record["reason"] = self.reason
+        if self.extra:
+            record["extra"] = self.extra
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TraceEvent":
+        return cls(
+            type=EventType(record["type"]),
+            tick=record["tick"],
+            channel=record.get("channel", -1),
+            rank=record.get("rank", -1),
+            chip=record.get("chip", -1),
+            bank=record.get("bank", -1),
+            req_id=record.get("req_id", -1),
+            start=record.get("start", -1),
+            end=record.get("end", -1),
+            kind=record.get("kind", ""),
+            reason=record.get("reason", ""),
+            extra=record.get("extra"),
+        )
+
+
+# ======================================================================
+# Sinks
+# ======================================================================
+class ListSink:
+    """Unbounded in-memory sink (tests, short traced runs)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keeps only the most recent ``capacity`` events (flight recorder)."""
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffer: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Total events ever offered, including the evicted ones.
+        self.total_seen = 0
+
+    def append(self, event: TraceEvent) -> None:
+        self._buffer.append(event)
+        self.total_seen += 1
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._buffer)
+
+    @property
+    def evicted(self) -> int:
+        return self.total_seen - len(self._buffer)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Streams events to a file, one JSON object per line."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._handle = open(self.path, "w")
+        self.written = 0
+
+    def append(self, event: TraceEvent) -> None:
+        json.dump(event.to_dict(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a JSONL trace written by :class:`JsonlSink`."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+# ======================================================================
+# Tracers
+# ======================================================================
+class NullTracer:
+    """Disabled tracer: emit sites see ``enabled == False`` and skip.
+
+    ``emit`` still exists (and discards) so non-hot-path callers may emit
+    unconditionally, but instrumented hot paths must check ``enabled``
+    first — tests/telemetry/test_overhead.py enforces that discipline.
+    """
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared default instance; stateless, safe to reuse everywhere.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Fans emitted events out to one or more sinks."""
+
+    enabled = True
+
+    def __init__(self, sinks: Optional[Iterable] = None):
+        self.sinks = list(sinks) if sinks is not None else [ListSink()]
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.emitted += 1
+        for sink in self.sinks:
+            sink.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        """Events from the first sink exposing an ``events`` collection."""
+        for sink in self.sinks:
+            events = getattr(sink, "events", None)
+            if events is not None:
+                return list(events)
+        return []
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+# ======================================================================
+# The bundle the simulator threads through the stack
+# ======================================================================
+@dataclass
+class Telemetry:
+    """Tracer + metrics registry handed to every instrumented component.
+
+    The registry is always live (cheap); the tracer defaults to
+    :data:`NULL_TRACER` so tracing is strictly opt-in.
+    """
+
+    tracer: Union[Tracer, NullTracer] = NULL_TRACER
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """Registry only — the default for ordinary runs."""
+        return cls()
+
+    @classmethod
+    def recording(cls, sinks: Optional[Iterable] = None) -> "Telemetry":
+        """Registry plus an enabled tracer (default: unbounded list sink)."""
+        return cls(tracer=Tracer(sinks))

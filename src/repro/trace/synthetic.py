@@ -18,6 +18,7 @@ through one ``random.Random`` instance.
 from __future__ import annotations
 
 import random
+import zlib
 from collections import deque
 from typing import Deque, Iterator, List, Optional, Tuple
 
@@ -46,7 +47,12 @@ class SyntheticTraceGenerator:
         self.core_id = core_id
         self.n_cores = max(1, n_cores)
         self.capacity_lines = capacity_lines
-        self.rng = random.Random((seed * 1_000_003 + core_id) ^ hash(profile.name) & 0xFFFF)
+        # zlib.crc32, not hash(): str hashes are randomised per process
+        # (PYTHONHASHSEED), which silently made the "deterministic" stream
+        # differ between runs — the seed stamped into saved results must
+        # reproduce the run bit-for-bit in a fresh interpreter.
+        name_salt = zlib.crc32(profile.name.encode()) & 0xFFFF
+        self.rng = random.Random((seed * 1_000_003 + core_id) ^ name_salt)
 
         footprint = min(profile.footprint_lines, capacity_lines // self.n_cores)
         self._footprint = max(footprint, 1024)

@@ -22,8 +22,8 @@ characterisation: mcf/lbm/milc are memory-hogs, gromacs/h264ref are light.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.memory.request import WORDS_PER_LINE
 

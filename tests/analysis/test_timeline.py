@@ -100,3 +100,44 @@ def test_renderer_consumes_real_controller_log():
     engine.run(max_events=10_000)
     text = render_occupancy(log, controller.geometry.chips_per_rank)
     assert "W" in text and "c" in text
+
+
+def test_occupancy_from_trace_filters_and_lifts():
+    from repro.analysis.timeline import occupancy_from_trace
+    from repro.telemetry import EventType, TraceEvent
+
+    events = [
+        TraceEvent(type=EventType.CHIP_RESERVE, tick=0, channel=0, rank=0,
+                   chip=1, bank=2, start=0, end=100, kind="write",
+                   reason="code-update"),
+        TraceEvent(type=EventType.CHIP_RESERVE, tick=0, channel=1, rank=0,
+                   chip=3, start=0, end=50, kind="read"),
+        TraceEvent(type=EventType.REQUEST_ISSUE, tick=5, channel=0),
+    ]
+    lifted = occupancy_from_trace(events, channel=0)
+    assert len(lifted) == 1
+    assert lifted[0].chip == 1
+    assert lifted[0].label == "code-update"
+    assert event_mark(lifted[0]) == "c"
+    assert len(occupancy_from_trace(events)) == 2
+
+
+def test_grid_renders_from_recorded_trace():
+    from repro.analysis.timeline import render_trace_occupancy
+    from repro.core.systems import make_system
+    from repro.memory.memsys import make_controller
+    from repro.memory.request import make_write
+    from repro.sim.engine import Engine
+    from repro.telemetry import Telemetry
+
+    engine = Engine()
+    telemetry = Telemetry.recording()
+    controller = make_controller(
+        engine, make_system("rwow-rde"), telemetry=telemetry
+    )
+    controller.submit(make_write(1, 0, 0b11))
+    engine.run(max_events=10_000)
+    text = render_trace_occupancy(
+        telemetry.tracer.events(), controller.geometry.chips_per_rank
+    )
+    assert "W" in text and "c" in text

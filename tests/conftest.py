@@ -1,12 +1,12 @@
 """Shared fixtures and helpers for the test suite."""
 
-from typing import List, Optional
+from typing import List
 
 import pytest
 
 from repro.core.systems import make_system
-from repro.memory.memsys import MainMemory, make_controller
-from repro.memory.request import MemoryRequest, RequestKind, make_read, make_write
+from repro.memory.memsys import make_controller
+from repro.memory.request import MemoryRequest, make_read, make_write
 from repro.sim.engine import Engine
 
 

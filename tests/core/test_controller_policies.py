@@ -1,6 +1,5 @@
 """Targeted tests for the PCMap scheduler's policy details."""
 
-import pytest
 
 from repro.memory.request import ServiceClass, make_read, make_write
 from repro.memory.timing import DEFAULT_TIMING

@@ -1,9 +1,7 @@
 """Unit tests for the multicore wrapper."""
 
-import pytest
 
 from repro.core.systems import make_system
-from repro.cpu.core import CoreParams
 from repro.cpu.multicore import Multicore
 from repro.memory.memsys import MainMemory
 from repro.sim.engine import Engine

@@ -8,7 +8,6 @@ its dirty words.
 
 import random
 
-import pytest
 
 from repro.core.systems import make_system
 from repro.memory.memsys import MainMemory

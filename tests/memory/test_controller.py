@@ -5,7 +5,7 @@ import pytest
 from repro.memory.request import ServiceClass
 from repro.memory.timing import DEFAULT_TIMING
 
-from tests.conftest import ControllerHarness, harness
+from tests.conftest import harness
 
 
 def test_single_read_completes(baseline):

@@ -1,6 +1,5 @@
 """Unit tests for the multi-channel memory facade."""
 
-import pytest
 
 from repro.core.controller import PCMapController
 from repro.core.systems import make_system

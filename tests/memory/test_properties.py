@@ -6,7 +6,7 @@ from repro.memory.bus import BusDirection, ChannelBus
 from repro.memory.queues import RequestQueue
 from repro.memory.rank import RankState
 from repro.memory.request import make_read
-from repro.memory.timing import DEFAULT_TIMING, TimingParams
+from repro.memory.timing import DEFAULT_TIMING
 
 
 @given(st.lists(st.sampled_from([BusDirection.READ, BusDirection.WRITE]),

@@ -67,3 +67,30 @@ def test_load_rejects_non_list(tmp_path):
 def test_convenience_fields_present():
     data = result_to_dict(_result())
     assert "ipc" in data and "write_throughput" in data
+
+
+def test_attribution_header_stamped():
+    data = result_to_dict(_result())
+    # Seed defaults to -1 for hand-built results, but the key is present.
+    assert data["seed"] == -1
+    assert isinstance(data["code_version"], str) and data["code_version"]
+    restored = result_from_dict(data)
+    assert restored.seed == -1
+
+
+def test_seed_round_trips():
+    result = _result()
+    result.seed = 42
+    assert result_from_dict(result_to_dict(result)).seed == 42
+
+
+def test_code_version_memoised():
+    from repro.sim.results_io import code_version
+
+    assert code_version() == code_version()
+
+
+def test_seed_absent_in_old_files_defaults():
+    data = result_to_dict(_result())
+    del data["seed"]
+    assert result_from_dict(data).seed == -1

@@ -1,0 +1,83 @@
+"""Unit tests for the Chrome-trace-format exporter."""
+
+import json
+
+from repro.telemetry import EventType, TraceEvent, to_chrome_trace, write_chrome_trace
+from repro.telemetry.chrome import SCHEDULER_TID
+
+
+def _events():
+    return [
+        TraceEvent(type=EventType.CHIP_RESERVE, tick=100, channel=0, rank=0,
+                   chip=2, bank=1, req_id=5, start=100, end=1300, kind="read"),
+        TraceEvent(type=EventType.ROW_SERVE, tick=90, channel=0, req_id=5),
+        TraceEvent(type=EventType.CHIP_RESERVE, tick=200, channel=0, rank=1,
+                   chip=9, bank=0, req_id=6, start=200, end=1400,
+                   kind="write", reason="code-update"),
+    ]
+
+
+def test_duration_event_mapping():
+    document = to_chrome_trace(_events(), chips_per_rank=10)
+    durations = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+    assert len(durations) == 2
+    first = durations[0]
+    assert first["pid"] == 0
+    assert first["tid"] == 0 * 10 + 2
+    assert first["ts"] == 100 / 10_000
+    assert first["dur"] == 1200 / 10_000
+    second = durations[1]
+    assert second["tid"] == 1 * 10 + 9
+    assert second["name"] == "code-update"
+
+
+def test_instant_events_land_on_scheduler_lane():
+    document = to_chrome_trace(_events(), chips_per_rank=10)
+    instants = [e for e in document["traceEvents"] if e.get("ph") == "i"]
+    assert len(instants) == 1
+    assert instants[0]["tid"] == SCHEDULER_TID
+    assert instants[0]["name"] == "row.serve"
+
+
+def test_thread_metadata_names_code_chips():
+    document = to_chrome_trace(_events(), chips_per_rank=10)
+    names = {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in document["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "thread_name"
+    }
+    assert names[(0, 2)] == "rank 0 chip 2"
+    assert names[(0, 19)] == "rank 1 PCC"
+    assert names[(0, SCHEDULER_TID)] == "scheduler"
+    process_names = [
+        e["args"]["name"]
+        for e in document["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "process_name"
+    ]
+    assert process_names == ["channel 0"]
+
+
+def test_timestamps_are_monotonic():
+    document = to_chrome_trace(_events(), chips_per_rank=10)
+    stamps = [
+        e["ts"] for e in document["traceEvents"] if e.get("ph") in ("X", "i")
+    ]
+    assert stamps == sorted(stamps)
+
+
+def test_chips_per_rank_inferred_from_events():
+    document = to_chrome_trace(_events())
+    durations = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+    # max chip id seen is 9 -> 10 chips per rank inferred.
+    assert durations[1]["tid"] == 1 * 10 + 9
+
+
+def test_write_chrome_trace_emits_valid_json(tmp_path):
+    path = tmp_path / "run.trace.json"
+    count = write_chrome_trace(path, _events(), chips_per_rank=10, label="unit")
+    with open(path) as handle:
+        document = json.load(handle)
+    assert count == len(document["traceEvents"])
+    assert document["displayTimeUnit"] == "ns"
+    assert document["otherData"]["label"] == "unit"
+    assert any(e.get("ph") == "X" for e in document["traceEvents"])

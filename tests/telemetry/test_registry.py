@@ -1,0 +1,111 @@
+"""Unit tests for the metrics registry instruments."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.registry import DEFAULT_BUCKETS, Histogram
+
+
+def test_counter_math():
+    registry = MetricsRegistry()
+    counter = registry.counter("reads")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert registry.value("reads") == 5
+    assert counter.as_dict() == {"type": "counter", "value": 5}
+
+
+def test_gauge_tracks_maximum():
+    gauge = MetricsRegistry().gauge("queue.depth")
+    gauge.inc()
+    gauge.inc()
+    gauge.dec()
+    gauge.inc(3)
+    assert gauge.value == 4
+    assert gauge.max_value == 4
+    gauge.set(1)
+    assert gauge.value == 1
+    assert gauge.max_value == 4
+    assert gauge.as_dict() == {"type": "gauge", "value": 1, "max": 4}
+
+
+def test_histogram_bucket_placement():
+    histogram = Histogram(buckets=(10, 20, 40))
+    for value in (5, 10, 11, 39, 40, 41, 1000):
+        histogram.observe(value)
+    # counts: <=10, <=20, <=40, overflow
+    assert histogram.counts == [2, 1, 2, 2]
+    assert histogram.count == 7
+    assert histogram.min_seen == 5
+    assert histogram.max_seen == 1000
+    assert histogram.mean == pytest.approx(sum((5, 10, 11, 39, 40, 41, 1000)) / 7)
+
+
+def test_histogram_percentile():
+    histogram = Histogram(buckets=(10, 20, 40))
+    for value in (1, 2, 15, 30, 30):
+        histogram.observe(value)
+    assert histogram.percentile(0.0) == 0.0 or histogram.count
+    assert histogram.percentile(0.4) == 10.0
+    assert histogram.percentile(0.6) == 20.0
+    assert histogram.percentile(1.0) == 40.0
+    # Overflow bucket reports the observed maximum.
+    histogram.observe(999)
+    assert histogram.percentile(1.0) == 999.0
+
+
+def test_histogram_empty_and_validation():
+    histogram = Histogram()
+    assert histogram.buckets == DEFAULT_BUCKETS
+    assert histogram.mean == 0.0
+    assert histogram.percentile(0.5) == 0.0
+    with pytest.raises(ValueError):
+        Histogram(buckets=())
+    with pytest.raises(ValueError):
+        Histogram(buckets=(5, 3, 1))
+    with pytest.raises(ValueError):
+        histogram.percentile(1.5)
+
+
+def test_histogram_as_dict_round_numbers():
+    histogram = MetricsRegistry().histogram("lat", buckets=(1, 2))
+    histogram.observe(1)
+    histogram.observe(3)
+    data = histogram.as_dict()
+    assert data["type"] == "histogram"
+    assert data["buckets"] == [1, 2]
+    assert data["counts"] == [1, 0, 1]
+    assert data["count"] == 2
+    assert data["sum"] == 4.0
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    first = registry.counter("x")
+    second = registry.counter("x")
+    assert first is second
+    assert len(registry) == 1
+    assert "x" in registry
+    assert registry.names() == ["x"]
+
+
+def test_registry_kind_collision_raises():
+    registry = MetricsRegistry()
+    registry.counter("clash")
+    with pytest.raises(TypeError):
+        registry.gauge("clash")
+    with pytest.raises(TypeError):
+        registry.histogram("clash")
+
+
+def test_registry_as_dict_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.gauge("a").set(2)
+    dump = registry.as_dict()
+    assert list(dump) == ["a", "b"]
+    assert dump["a"]["value"] == 2
+    assert dump["b"]["value"] == 1
+    assert registry.value("missing", default=-7) == -7
+    assert registry.get("missing") is None

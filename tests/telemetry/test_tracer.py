@@ -1,0 +1,95 @@
+"""Unit tests for trace events, sinks and tracers."""
+
+from repro.telemetry import (
+    NULL_TRACER,
+    EventType,
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    RingBufferSink,
+    Telemetry,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+)
+
+import pytest
+
+
+def _event(tick=100, **kwargs):
+    return TraceEvent(type=EventType.REQUEST_ISSUE, tick=tick, **kwargs)
+
+
+def test_event_to_dict_is_compact():
+    event = _event(channel=1, req_id=42, kind="read")
+    record = event.to_dict()
+    assert record == {
+        "type": "request.issue", "tick": 100,
+        "channel": 1, "req_id": 42, "kind": "read",
+    }
+    # Defaulted coordinates are omitted entirely.
+    assert "rank" not in record and "reason" not in record
+
+
+def test_event_dict_round_trip():
+    event = TraceEvent(
+        type=EventType.CHIP_RESERVE, tick=5, channel=0, rank=1, chip=9,
+        bank=3, req_id=7, start=5, end=1205, kind="write",
+        reason="code-update", extra={"words": 2},
+    )
+    assert TraceEvent.from_dict(event.to_dict()) == event
+
+
+def test_ring_buffer_eviction():
+    sink = RingBufferSink(capacity=3)
+    for tick in range(5):
+        sink.append(_event(tick=tick))
+    assert sink.total_seen == 5
+    assert sink.evicted == 2
+    assert [e.tick for e in sink.events] == [2, 3, 4]
+    with pytest.raises(ValueError):
+        RingBufferSink(capacity=0)
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    events = [
+        _event(tick=1, req_id=1),
+        TraceEvent(type=EventType.ROW_DECLINE, tick=2, reason="write-pressure"),
+        TraceEvent(type=EventType.WOW_OPEN, tick=3, extra={"group_size": 3}),
+    ]
+    with JsonlSink(path) as sink:
+        for event in events:
+            sink.append(event)
+    assert sink.written == 3
+    assert read_jsonl(path) == events
+
+
+def test_tracer_fans_out_to_all_sinks():
+    a, b = ListSink(), ListSink()
+    tracer = Tracer([a, b])
+    tracer.emit(_event())
+    tracer.emit(_event(tick=200))
+    assert tracer.emitted == 2
+    assert len(a.events) == len(b.events) == 2
+    assert [e.tick for e in tracer.events()] == [100, 200]
+
+
+def test_null_tracer_is_disabled():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+    NULL_TRACER.emit(_event())  # discards silently
+    NULL_TRACER.close()
+
+
+def test_telemetry_bundle_defaults():
+    disabled = Telemetry.disabled()
+    assert disabled.tracer is NULL_TRACER
+    assert disabled.metrics.names() == []
+
+    recording = Telemetry.recording()
+    assert recording.tracer.enabled is True
+    recording.tracer.emit(_event())
+    assert len(recording.tracer.events()) == 1
+    # Each bundle gets its own registry.
+    assert recording.metrics is not disabled.metrics

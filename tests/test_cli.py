@@ -37,6 +37,54 @@ def test_compare_command(capsys):
     assert "IPC improvement" in out
 
 
+def test_trace_command_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "run.trace.json"
+    jsonl_file = tmp_path / "run.jsonl"
+    assert main([
+        "trace", "--workload", "canneal", "--system", "rwow-rde",
+        "--requests", "200", "--cores", "2",
+        "--out", str(out_file), "--jsonl", str(jsonl_file),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out and "Chrome trace" in out
+
+    with open(out_file) as handle:
+        document = json.load(handle)
+    assert document["traceEvents"]
+    stamps = [
+        e["ts"] for e in document["traceEvents"] if e.get("ph") in ("X", "i")
+    ]
+    assert stamps == sorted(stamps)
+
+    from repro.telemetry import read_jsonl
+
+    assert len(read_jsonl(jsonl_file)) > 0
+
+
+def test_stats_command_json(capsys):
+    import json
+
+    assert main([
+        "stats", "--workload", "canneal", "--system", "rwow-rde",
+        "--requests", "200", "--cores", "2", "--json",
+    ]) == 0
+    dump = json.loads(capsys.readouterr().out)
+    assert dump["reads.completed"]["value"] > 0
+    assert "row.attempts" in dump
+
+
+def test_stats_command_table(capsys):
+    assert main([
+        "stats", "--workload", "MP3", "--system", "baseline",
+        "--requests", "200", "--cores", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "metrics registry" in out
+    assert "engine:" in out  # profile summary line
+
+
 def test_gen_trace_roundtrip(tmp_path, capsys):
     out_file = tmp_path / "t.trace"
     assert main([

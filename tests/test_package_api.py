@@ -1,6 +1,5 @@
 """Tests for the top-level package API and misc wrappers."""
 
-import pytest
 
 import repro
 from repro.sim.simulator import SimulationParams
