@@ -11,9 +11,8 @@ rotation targets.
 """
 
 from repro.analysis import format_table
-from repro.sim.experiment import run_workload
 
-from benchmarks.common import SWEEP_PARAMS, write_report
+from benchmarks.common import run_pairs, write_report
 
 SYSTEMS = ("baseline", "rwow-nr", "rwow-rd", "rwow-rde")
 _RESULTS = {}
@@ -23,8 +22,8 @@ _PROFILES = []
 def _run() -> dict:
     if _RESULTS:
         return _RESULTS
-    for system_name in SYSTEMS:
-        result = run_workload("canneal", system_name, SWEEP_PARAMS)
+    results = run_pairs([("canneal", name) for name in SYSTEMS])
+    for system_name, result in zip(SYSTEMS, results):
         _PROFILES.append(result)
         stats = result.memory
         _RESULTS[system_name] = {

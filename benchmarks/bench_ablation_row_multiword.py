@@ -10,9 +10,8 @@ measures what the paper's restriction costs or saves.
 
 from repro.analysis import format_table, percent
 from repro.core.systems import make_system
-from repro.sim.experiment import run_workload
 
-from benchmarks.common import SWEEP_PARAMS, write_report
+from benchmarks.common import run_pairs, write_report
 
 WORD_LIMITS = (1, 2, 3)
 WORKLOADS = ("canneal", "MP1")
@@ -23,15 +22,20 @@ _PROFILES = []
 def _run() -> dict:
     if _RESULTS:
         return _RESULTS
+    pairs = []
     for workload in WORKLOADS:
-        base = run_workload(workload, make_system("baseline"), SWEEP_PARAMS)
-        _PROFILES.append(base)
+        pairs.append((workload, make_system("baseline")))
         for limit in WORD_LIMITS:
-            result = run_workload(
-                workload,
-                make_system("rwow-rde", row_max_essential_words=limit),
-                SWEEP_PARAMS,
-            )
+            pairs.append((workload, make_system(
+                "rwow-rde", row_max_essential_words=limit
+            )))
+    results = run_pairs(pairs)
+    stride = 1 + len(WORD_LIMITS)
+    for i, workload in enumerate(WORKLOADS):
+        base = results[stride * i]
+        _PROFILES.append(base)
+        for j, limit in enumerate(WORD_LIMITS):
+            result = results[stride * i + 1 + j]
             _PROFILES.append(result)
             _RESULTS[(workload, limit)] = {
                 "gain": result.ipc / base.ipc - 1.0,

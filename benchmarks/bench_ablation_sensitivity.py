@@ -1,6 +1,10 @@
 """Ablations — sensitivity to the modelling/design choices DESIGN.md §5
 calls out: the drain watermark (the paper's alpha), the ECC-update cost
 fraction, and the SET/RESET write-latency asymmetry model.
+
+Each test batches its whole (config, workload) set through the shared
+sweep runner, so the points run in parallel and repeat invocations come
+from the on-disk result cache.
 """
 
 import dataclasses
@@ -8,19 +12,10 @@ import dataclasses
 from repro.analysis import format_table, percent
 from repro.core.systems import make_system
 from repro.memory.timing import DEFAULT_TIMING, WriteLatencyMode
-from repro.sim.experiment import run_workload
 
-from benchmarks.common import SWEEP_PARAMS, write_report
+from benchmarks.common import run_pairs, write_report
 
 WORKLOAD = "canneal"
-
-
-def _gain(system, baseline_system, profiles=None):
-    base = run_workload(WORKLOAD, baseline_system, SWEEP_PARAMS)
-    result = run_workload(WORKLOAD, system, SWEEP_PARAMS)
-    if profiles is not None:
-        profiles.extend([base, result])
-    return result.ipc / base.ipc - 1.0, result
 
 
 # ----------------------------------------------------------------------
@@ -28,13 +23,23 @@ def _gain(system, baseline_system, profiles=None):
 # ----------------------------------------------------------------------
 def test_ablation_drain_watermark(benchmark):
     profiles = []
+    alphas = (0.6, 0.8, 0.9)
 
     def run():
+        pairs = []
+        for alpha in alphas:
+            pairs.append(
+                (WORKLOAD, make_system("baseline", drain_high_watermark=alpha))
+            )
+            pairs.append(
+                (WORKLOAD, make_system("rwow-rde", drain_high_watermark=alpha))
+            )
+        results = run_pairs(pairs)
+        profiles.extend(results)
         rows = []
-        for alpha in (0.6, 0.8, 0.9):
-            base = make_system("baseline", drain_high_watermark=alpha)
-            pcmap = make_system("rwow-rde", drain_high_watermark=alpha)
-            gain, result = _gain(pcmap, base, profiles)
+        for i, alpha in enumerate(alphas):
+            base, result = results[2 * i], results[2 * i + 1]
+            gain = result.ipc / base.ipc - 1.0
             rows.append(
                 [f"{alpha:.1f}", percent(gain), f"{result.irlp_average:.2f}",
                  result.memory.drain_entries]
@@ -54,18 +59,26 @@ def test_ablation_drain_watermark(benchmark):
 # ----------------------------------------------------------------------
 def test_ablation_ecc_cost(benchmark):
     profiles = []
+    fractions = (0.5, 0.85, 1.0)
+    names = ("rwow-nr", "rwow-rde")
 
     def run():
-        rows = []
-        for fraction in (0.5, 0.85, 1.0):
+        pairs = []
+        for fraction in fractions:
             timing = dataclasses.replace(
                 DEFAULT_TIMING, ecc_update_fraction=fraction
             )
-            base = make_system("baseline", timing=timing)
-            for name in ("rwow-nr", "rwow-rde"):
-                gain, _result = _gain(
-                    make_system(name, timing=timing), base, profiles
-                )
+            pairs.append((WORKLOAD, make_system("baseline", timing=timing)))
+            for name in names:
+                pairs.append((WORKLOAD, make_system(name, timing=timing)))
+        results = run_pairs(pairs)
+        profiles.extend(results)
+        rows = []
+        stride = 1 + len(names)
+        for i, fraction in enumerate(fractions):
+            base = results[stride * i]
+            for j, name in enumerate(names):
+                gain = results[stride * i + 1 + j].ipc / base.ipc - 1.0
                 rows.append([f"{fraction:.2f}", name, percent(gain)])
         return format_table(
             ["ECC cost fraction", "system", "IPC gain"],
@@ -86,15 +99,20 @@ def test_ablation_ecc_cost(benchmark):
 # ----------------------------------------------------------------------
 def test_ablation_set_reset(benchmark):
     profiles = []
+    modes = (WriteLatencyMode.FIXED, WriteLatencyMode.SET_RESET)
 
     def run():
-        rows = []
-        for mode in (WriteLatencyMode.FIXED, WriteLatencyMode.SET_RESET):
+        pairs = []
+        for mode in modes:
             timing = dataclasses.replace(DEFAULT_TIMING, write_mode=mode)
-            base = make_system("baseline", timing=timing)
-            gain, result = _gain(
-                make_system("rwow-rde", timing=timing), base, profiles
-            )
+            pairs.append((WORKLOAD, make_system("baseline", timing=timing)))
+            pairs.append((WORKLOAD, make_system("rwow-rde", timing=timing)))
+        results = run_pairs(pairs)
+        profiles.extend(results)
+        rows = []
+        for i, mode in enumerate(modes):
+            base, result = results[2 * i], results[2 * i + 1]
+            gain = result.ipc / base.ipc - 1.0
             rows.append(
                 [mode.value, percent(gain), f"{result.irlp_average:.2f}"]
             )

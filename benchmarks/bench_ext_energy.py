@@ -10,9 +10,8 @@ from the prototype data the paper cites.
 from repro.analysis import format_table
 from repro.core.systems import SYSTEM_NAMES
 from repro.memory.power import DEFAULT_ENERGY_MODEL
-from repro.sim.experiment import run_workload
 
-from benchmarks.common import SWEEP_PARAMS, write_report
+from benchmarks.common import run_pairs, write_report
 
 WORKLOAD = "canneal"
 _RESULTS = {}
@@ -22,8 +21,8 @@ _PROFILES = []
 def _run() -> dict:
     if _RESULTS:
         return _RESULTS
-    for name in SYSTEM_NAMES:
-        result = run_workload(WORKLOAD, name, SWEEP_PARAMS)
+    results = run_pairs([(WORKLOAD, name) for name in SYSTEM_NAMES])
+    for name, result in zip(SYSTEM_NAMES, results):
         _PROFILES.append(result)
         _RESULTS[name] = {
             "per_request_nj": DEFAULT_ENERGY_MODEL.energy_per_request_nj(

@@ -10,9 +10,8 @@ controller already prioritises reads and batches writes).
 """
 
 from repro.analysis import FigureSeries, figure_report, percent
-from repro.sim.experiment import sweep_workloads
 
-from benchmarks.common import SWEEP_PARAMS, write_report
+from benchmarks.common import run_grid, write_report
 
 WORKLOADS = ["canneal", "streamcluster", "MP1", "MP4"]
 SYSTEMS = ["baseline", "write-pausing", "rwow-rde"]
@@ -22,7 +21,7 @@ _SWEEP = []
 
 def _run():
     if not _SWEEP:
-        _SWEEP.extend(sweep_workloads(WORKLOADS, SYSTEMS, SWEEP_PARAMS))
+        _SWEEP.extend(run_grid(WORKLOADS, SYSTEMS))
     return _SWEEP
 
 

@@ -11,10 +11,9 @@ system.  Paper shape: 11.5-38.1% of reads delayed; latency inflation
 from repro.analysis import format_table
 from repro.core.systems import make_system
 from repro.memory.timing import DEFAULT_TIMING
-from repro.sim.experiment import run_workload
 from repro.trace.workloads import SPEC_SINGLES
 
-from benchmarks.common import SWEEP_PARAMS, write_report
+from benchmarks.common import run_pairs, write_report
 
 _RESULTS = {}
 _PROFILES = []
@@ -25,9 +24,13 @@ def _run() -> dict:
         return _RESULTS
     asym = make_system("baseline")
     sym = make_system("baseline", timing=DEFAULT_TIMING.symmetric())
-    for workload in SPEC_SINGLES:
-        a = run_workload(workload, asym, SWEEP_PARAMS)
-        s = run_workload(workload, sym, SWEEP_PARAMS)
+    pairs = [
+        (workload, system)
+        for workload in SPEC_SINGLES
+        for system in (asym, sym)
+    ]
+    results = run_pairs(pairs)
+    for workload, a, s in zip(SPEC_SINGLES, results[0::2], results[1::2]):
         _PROFILES.extend([a, s])
         inflation = (
             a.mean_read_latency_ns / s.mean_read_latency_ns

@@ -5,6 +5,10 @@ how many 8-byte words each 64-byte write-back actually modifies.  Paper
 shape: 14% (omnetpp) to 52% (cactusADM) of write-backs touch exactly one
 word; 77-99% touch at most half the line; the average line needs ~2.4
 word writes — the idleness PCMap exploits.
+
+This benchmark samples trace generators directly (no simulation runs),
+so it has no (workload, system) jobs for the sweep runner; it is memoised
+in-process only.
 """
 
 from repro.analysis import format_table

@@ -4,6 +4,10 @@ Drives the two example scenarios of Figure 5 through a PCMap channel and
 checks the qualitative schedule: (b) reads overlap a one-word write and
 finish far earlier than the serialised baseline; (d) chip-disjoint writes
 consolidate into one window instead of serialising.
+
+These are hand-built micro-scenarios driven straight into a controller
+(not workload x system simulations), so they bypass the sweep runner and
+its result cache by design.
 """
 
 from repro.core.systems import make_system

@@ -9,9 +9,8 @@ overlap; RWoW-RDE starts higher (16.6%) and grows more gently (24.3%).
 from repro.analysis import format_table, percent
 from repro.core.systems import make_system
 from repro.memory.timing import DEFAULT_TIMING
-from repro.sim.experiment import run_workload
 
-from benchmarks.common import SWEEP_PARAMS, write_report
+from benchmarks.common import run_pairs, write_report
 
 RATIOS = (2.0, 4.0, 6.0, 8.0)
 WORKLOADS = ("canneal", "MP1", "MP4")
@@ -24,14 +23,25 @@ _PROFILES = []
 def _run() -> dict:
     if _RESULTS:
         return _RESULTS
-    for ratio in RATIOS:
-        timing = DEFAULT_TIMING.with_write_to_read_ratio(ratio)
-        for system_name in ("baseline",) + SYSTEMS:
-            system = make_system(system_name, timing=timing)
-            for workload in WORKLOADS:
-                result = run_workload(workload, system, SWEEP_PARAMS)
-                _RESULTS[(ratio, system_name, workload)] = result.ipc
-                _PROFILES.append(result)
+    cells = [
+        (ratio, system_name, workload)
+        for ratio in RATIOS
+        for system_name in ("baseline",) + SYSTEMS
+        for workload in WORKLOADS
+    ]
+    pairs = [
+        (
+            workload,
+            make_system(
+                system_name,
+                timing=DEFAULT_TIMING.with_write_to_read_ratio(ratio),
+            ),
+        )
+        for ratio, system_name, workload in cells
+    ]
+    for cell, result in zip(cells, run_pairs(pairs)):
+        _RESULTS[cell] = result.ipc
+        _PROFILES.append(result)
     return _RESULTS
 
 

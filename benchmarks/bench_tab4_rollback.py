@@ -11,10 +11,9 @@ is at most a few percent.
 
 from repro.analysis import format_table, percent
 from repro.core.systems import make_system
-from repro.sim.experiment import run_workload
 from repro.trace.workloads import TABLE4_NAMES, get_workload
 
-from benchmarks.common import SWEEP_PARAMS, write_report
+from benchmarks.common import run_pairs, write_report
 
 _RESULTS = {}
 _PROFILES = []
@@ -23,24 +22,25 @@ _PROFILES = []
 def _run() -> dict:
     if _RESULTS:
         return _RESULTS
+    pairs = []
     for name in TABLE4_NAMES:
         workload = get_workload(name)
-        base = run_workload(workload, make_system("baseline"), SWEEP_PARAMS)
+        pairs.append((workload, make_system("baseline")))
         # Table IV is titled "IPC of RoW normalized to the baseline":
         # the RoW-only system maximises deferred verifications, which is
         # where rollbacks can occur.
-        faulty = run_workload(
-            workload,
-            make_system("row-nr", row_rollback_rate=workload.rollback_rate),
-            SWEEP_PARAMS,
-        )
+        pairs.append((workload, make_system(
+            "row-nr", row_rollback_rate=workload.rollback_rate
+        )))
         # row_rollback_rate=0 would auto-wire the workload rate; pass a
         # vanishing rate to model the "never faulty" system.
-        clean = run_workload(
-            workload,
-            make_system("row-nr", row_rollback_rate=1e-12),
-            SWEEP_PARAMS,
-        )
+        pairs.append((workload, make_system(
+            "row-nr", row_rollback_rate=1e-12
+        )))
+    results = run_pairs(pairs)
+    for i, name in enumerate(TABLE4_NAMES):
+        workload = get_workload(name)
+        base, faulty, clean = results[3 * i:3 * i + 3]
         _PROFILES.extend([base, faulty, clean])
         _RESULTS[name] = {
             "rate": workload.rollback_rate,

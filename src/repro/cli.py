@@ -6,7 +6,8 @@ Commands::
     python -m repro list-systems
     python -m repro run --workload canneal --system rwow-rde [--requests N]
     python -m repro compare --workload canneal [--systems a,b,c]
-    python -m repro sweep --workloads canneal,MP1 [--systems ...]
+    python -m repro sweep --workloads canneal,MP1 [--systems ...] \\
+        [--jobs N] [--no-cache] [--cache-dir DIR]
     python -m repro gen-trace --workload MP1 --count 1000 --out mp1.trace
     python -m repro trace --workload canneal --system rwow-rde \\
         --out run.trace.json [--jsonl run.jsonl] [--buffer N]
@@ -24,12 +25,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis import format_table, percent
 from repro.core.systems import SYSTEM_NAMES, make_system
-from repro.sim.experiment import compare_systems, run_workload
+from repro.sim.experiment import compare_systems, run_workload, sweep_workloads
+from repro.sim.runner import ResultCache, SweepProgress
 from repro.sim.simulator import SimulationParams
 from repro.telemetry import (
     JsonlSink,
@@ -114,13 +117,44 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default on-disk sweep cache, shared with the benchmark harness.
+DEFAULT_CACHE_DIR = os.path.join("benchmarks", "results", "cache")
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def emit(progress: SweepProgress) -> None:
+        print(progress.describe(), file=sys.stderr)
+
+    return emit
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    """Workloads x systems grid through the parallel runner + cache."""
     systems = args.systems.split(",") if args.systems else None
-    for workload in args.workloads.split(","):
-        comparison = compare_systems(workload, systems, _params(args))
+    workloads = args.workloads.split(",")
+    cache_dir = args.cache_dir or os.environ.get(
+        "REPRO_SWEEP_CACHE_DIR", DEFAULT_CACHE_DIR
+    )
+    cache = None if args.no_cache else ResultCache(cache_dir)
+    comparisons = sweep_workloads(
+        workloads,
+        systems,
+        _params(args),
+        jobs=args.jobs,
+        cache=cache,
+        progress=_progress_printer(args.quiet),
+    )
+    for comparison in comparisons:
         rows = [_result_row(r) for r in comparison.results.values()]
-        print(format_table(_RESULT_HEADERS, rows, title=f"workload {workload}"))
+        print(format_table(
+            _RESULT_HEADERS, rows, title=f"workload {comparison.workload_name}"
+        ))
         print()
+    if cache is not None:
+        print(f"{cache.stats.summary()} ({cache.directory})")
     return 0
 
 
@@ -222,10 +256,23 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(cmp_p)
     cmp_p.set_defaults(func=cmd_compare)
 
-    sweep_p = sub.add_parser("sweep", help="several workloads across systems")
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="several workloads across systems (parallel, cached)",
+    )
     sweep_p.add_argument("--workloads", required=True,
                          help="comma-separated workload names")
     sweep_p.add_argument("--systems", help="comma-separated system names")
+    sweep_p.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                         help="worker processes (default: all cores)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="always re-simulate; do not read or write "
+                              "the on-disk result cache")
+    sweep_p.add_argument("--cache-dir",
+                         help="result cache directory (default: "
+                              f"$REPRO_SWEEP_CACHE_DIR or {DEFAULT_CACHE_DIR})")
+    sweep_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-job progress lines on stderr")
     add_common(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 

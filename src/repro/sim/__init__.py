@@ -1,8 +1,22 @@
-"""Simulation harness: event engine, metrics, system driver, experiments."""
+"""Simulation harness: event engine, metrics, system driver, experiments,
+and the parallel sweep runner with its on-disk result cache."""
 
 from repro.sim.engine import Engine, ns_to_ticks, ticks_to_ns
 from repro.sim.metrics import IrlpRecorder, MemoryStats, SimulationResult, WriteWindow
 from repro.sim.results_io import load_results, save_results
+
+_RUNNER_EXPORTS = ("ResultCache", "SweepJob", "SweepRunner", "run_jobs", "run_pairs")
+
+
+def __getattr__(name):
+    # The runner imports repro.core (system configs), which imports the
+    # memory model, which imports repro.sim.engine — importing the runner
+    # eagerly here would close that loop.  Resolve it on first use instead.
+    if name in _RUNNER_EXPORTS:
+        from repro.sim import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Engine",
@@ -14,4 +28,9 @@ __all__ = [
     "WriteWindow",
     "load_results",
     "save_results",
+    "ResultCache",
+    "SweepJob",
+    "SweepRunner",
+    "run_jobs",
+    "run_pairs",
 ]

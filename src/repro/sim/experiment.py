@@ -12,6 +12,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.core.config import SystemConfig
 from repro.core.systems import SYSTEM_NAMES, make_system
 from repro.sim.metrics import SimulationResult
+from repro.sim.runner.cache import ResultCache
+from repro.sim.runner.executor import ProgressCallback, run_jobs
+from repro.sim.runner.jobs import SweepJob
 from repro.sim.simulator import SimulationParams, simulate
 from repro.telemetry import Telemetry
 from repro.trace.workloads import WorkloadProfile, get_workload
@@ -75,31 +78,66 @@ def compare_systems(
     workload: Union[str, WorkloadProfile],
     systems: Optional[Sequence[Union[str, SystemConfig]]] = None,
     params: Optional[SimulationParams] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
     **system_overrides,
 ) -> SystemComparison:
     """Run one workload across systems (default: all six of §V)."""
-    if systems is None:
-        systems = SYSTEM_NAMES
-    if isinstance(workload, str):
-        workload = get_workload(workload)
-    comparison = SystemComparison(workload_name=workload.name)
-    for system in systems:
-        result = run_workload(workload, system, params, **system_overrides)
-        comparison.results[result.system_name] = result
-    return comparison
+    return sweep_workloads(
+        [workload],
+        systems,
+        params,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        **system_overrides,
+    )[0]
 
 
 def sweep_workloads(
     workloads: Iterable[Union[str, WorkloadProfile]],
     systems: Optional[Sequence[Union[str, SystemConfig]]] = None,
     params: Optional[SimulationParams] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
     **system_overrides,
 ) -> List[SystemComparison]:
-    """Cartesian sweep used by the figure benchmarks."""
-    return [
-        compare_systems(workload, systems, params, **system_overrides)
-        for workload in workloads
+    """Cartesian sweep used by the figure benchmarks.
+
+    Runs through :mod:`repro.sim.runner`: ``jobs`` fans the grid out over
+    a process pool (results stay bit-identical to ``jobs=1`` because
+    every cell's seed is derived from ``params.seed`` and the cell's
+    names, not from execution order), and ``cache`` serves repeat cells
+    from the on-disk result cache instead of re-simulating.
+    """
+    if systems is None:
+        systems = SYSTEM_NAMES
+    resolved = [
+        get_workload(w) if isinstance(w, str) else w for w in workloads
     ]
+    if system_overrides and not all(isinstance(s, str) for s in systems):
+        raise ValueError("overrides only apply when systems are names")
+    sweep_jobs = [
+        SweepJob.build(workload, system, params, **system_overrides)
+        if isinstance(system, str)
+        else SweepJob.build(workload, system, params)
+        for workload in resolved
+        for system in systems
+    ]
+    results = run_jobs(sweep_jobs, jobs=jobs, cache=cache, progress=progress)
+    comparisons: List[SystemComparison] = []
+    flat = iter(results)
+    for workload in resolved:
+        comparison = SystemComparison(workload_name=workload.name)
+        for _ in systems:
+            result = next(flat)
+            comparison.results[result.system_name] = result
+        comparisons.append(comparison)
+    return comparisons
 
 
 def geometric_mean(values: Sequence[float]) -> float:

@@ -9,7 +9,9 @@ a results file holds a list of them.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 from typing import List, Union
@@ -104,13 +106,37 @@ def result_from_dict(data: dict) -> SimulationResult:
     )
 
 
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Readers either see the previous complete file or the new complete
+    file, never a truncated one — a crash mid-dump must not leave a
+    results file (or sweep-cache entry) that ``json.load`` chokes on.
+    """
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_results(
     path: Union[str, Path], results: List[SimulationResult]
 ) -> int:
-    """Write results to a JSON file; returns the count."""
+    """Write results to a JSON file (atomically); returns the count."""
     payload = [result_to_dict(result) for result in results]
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1)
+    atomic_write_text(path, json.dumps(payload, indent=1))
     return len(payload)
 
 

@@ -1,0 +1,150 @@
+"""On-disk result cache for the sweep runner.
+
+One JSON file per (workload, system, params, code version) cell, named by
+the job's content hash and written atomically, so a warm sweep rerun is
+pure I/O.  Every entry embeds its own key and a SHA-256 digest of the
+result payload; an entry that fails to parse, names a different key or
+fails the digest check is treated as a miss, deleted and recomputed —
+corruption can cost time, never correctness.
+
+The payload itself goes through the existing
+:mod:`repro.sim.results_io` round-trip (``result_to_dict`` /
+``result_from_dict``), so cached results carry the same schema,
+attribution seed and code-version stamp as any saved results file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.sim.metrics import SimulationResult
+from repro.sim.results_io import (
+    atomic_write_text,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.telemetry import RunProfile
+
+#: Version of the cache *envelope* (the result payload inside carries its
+#: own ``results_io.SCHEMA_VERSION``).
+CACHE_SCHEMA = 1
+
+
+def payload_digest(payload: dict) -> str:
+    """SHA-256 of a result payload's canonical JSON text."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance (one process)."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0     #: entries discarded for parse/key/digest failures
+    writes: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses "
+            f"({self.corrupt} corrupt), {self.writes} writes"
+        )
+
+
+class ResultCache:
+    """Content-addressed simulation-result store under one directory."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Cached result for ``key``, or ``None``.
+
+        Any defect in the entry — unreadable file, JSON error, key or
+        digest mismatch, bad schema — degrades to a miss: the entry is
+        removed (best effort) and the caller recomputes.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+            if entry.get("schema") != CACHE_SCHEMA:
+                raise ValueError(f"unsupported cache schema {entry.get('schema')!r}")
+            if entry.get("key") != key:
+                raise ValueError("cache entry does not match its key")
+            payload = entry["result"]
+            if payload_digest(payload) != entry.get("payload_sha256"):
+                raise ValueError("cache entry failed its digest check")
+            result = result_from_dict(payload)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # json.JSONDecodeError is a ValueError; result_from_dict
+            # raises ValueError/KeyError/TypeError on malformed payloads.
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        profile = entry.get("profile")
+        if isinstance(profile, dict):
+            # Rehydrate the engine cost of the original run so warm-cache
+            # telemetry summaries still report what the sweep really cost.
+            result.profile = RunProfile(
+                events_dispatched=int(profile.get("events_dispatched", 0)),
+                wall_seconds=float(profile.get("wall_seconds", 0.0)),
+            )
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> Path:
+        """Persist ``result`` under ``key`` (atomic write); returns the path."""
+        payload = result_to_dict(result)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "payload_sha256": payload_digest(payload),
+            "result": payload,
+        }
+        if result.profile is not None:
+            entry["profile"] = {
+                "events_dispatched": result.profile.events_dispatched,
+                "wall_seconds": result.profile.wall_seconds,
+            }
+        path = self.path_for(key)
+        atomic_write_text(path, json.dumps(entry, indent=1))
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of entries on disk (not a ``__len__``: an empty cache
+        must never read as falsy where ``cache is not None`` is meant)."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,127 @@
+"""Job model and content hashing for the parallel sweep runner.
+
+A sweep is a list of :class:`SweepJob`\\ s — one fully resolved
+(workload, system, params) triple per simulation run.  Everything about
+a job is plain deterministic data: the workload profile, the frozen
+system config and the run-scale params with a seed derived from them.
+That buys the runner its two core guarantees cheaply:
+
+* **Order independence** — a job's seed is a pure function of the base
+  seed and the (workload, system) names, never of submission order or
+  worker assignment, so ``jobs=1`` and ``jobs=N`` sweeps produce
+  bit-identical results.
+* **Content-addressed caching** — :meth:`SweepJob.cache_key` hashes the
+  canonical JSON form of the whole job plus
+  :func:`repro.sim.results_io.code_version`, so changing the workload
+  statistics, the system config, the run scale or the code itself
+  invalidates exactly the affected cache entries.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import Optional, Union
+
+from repro.core.config import SystemConfig
+from repro.core.systems import make_system
+from repro.sim.results_io import SCHEMA_VERSION, code_version
+from repro.sim.simulator import SimulationParams
+from repro.trace.workloads import WorkloadProfile, get_workload
+
+
+def canonical(obj: object) -> object:
+    """Reduce ``obj`` to JSON-serialisable data with a stable shape.
+
+    Dataclasses become field dicts, enums their values, tuples lists.
+    Raises ``TypeError`` for anything that cannot be represented — a
+    cache key must never silently ignore part of its input.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonical(getattr(obj, f.name)) for f in fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return canonical(obj.value)
+    if isinstance(obj, dict):
+        return {str(key): canonical(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(value) for value in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    raise TypeError(f"cannot canonicalise {type(obj).__name__!r} for hashing")
+
+
+def content_hash(obj: object) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``obj``."""
+    text = json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def derive_seed(base_seed: int, workload_name: str, system_name: str) -> int:
+    """Per-job RNG seed: stable, order-independent, stream-decorrelated.
+
+    ``crc32`` rather than ``hash()`` because the latter is salted per
+    process (PYTHONHASHSEED) and would break parallel/serial identity.
+    """
+    tag = f"{base_seed}:{workload_name}:{system_name}"
+    return (zlib.crc32(tag.encode("utf-8")) & 0x7FFFFFFF) or 1
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One fully resolved simulation run: workload x system x params."""
+
+    workload: WorkloadProfile
+    system: SystemConfig
+    params: SimulationParams
+
+    @classmethod
+    def build(
+        cls,
+        workload: Union[str, WorkloadProfile],
+        system: Union[str, SystemConfig],
+        params: Optional[SimulationParams] = None,
+        **system_overrides,
+    ) -> "SweepJob":
+        """Resolve names to profiles/configs and derive the job seed.
+
+        ``params.seed`` is treated as the sweep's *base* seed; the job
+        runs with :func:`derive_seed` of it so every (workload, system)
+        cell gets its own decorrelated — but reproducible — RNG stream.
+        """
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        if isinstance(system, str):
+            system = make_system(system, **system_overrides)
+        elif system_overrides:
+            raise ValueError("overrides only apply when `system` is a name")
+        params = params if params is not None else SimulationParams()
+        params = replace(
+            params, seed=derive_seed(params.seed, workload.name, system.name)
+        )
+        return cls(workload=workload, system=system, params=params)
+
+    def cache_key(self) -> str:
+        """Content hash identifying this job's result on disk.
+
+        Includes :func:`code_version` so results recorded by a different
+        code state are never served, and the result schema version so a
+        schema bump orphans (rather than corrupts) old entries.
+        """
+        return content_hash(
+            {
+                "schema": SCHEMA_VERSION,
+                "code": code_version(),
+                "workload": self.workload,
+                "system": self.system,
+                "params": self.params,
+            }
+        )
+
+    def describe(self) -> str:
+        """Short ``workload x system`` label for progress lines."""
+        return f"{self.workload.name} x {self.system.name}"

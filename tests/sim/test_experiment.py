@@ -80,6 +80,26 @@ def test_sweep_workloads_shapes():
     assert [s.workload_name for s in sweeps] == ["MP2", "MP3"]
 
 
+def test_sweep_workloads_through_runner_cache(tmp_path):
+    from repro.sim.runner import ResultCache
+
+    cache = ResultCache(tmp_path)
+    first = sweep_workloads(["MP3"], ["baseline"], FAST, jobs=2, cache=cache)
+    assert cache.stats.writes == 1
+    second = sweep_workloads(["MP3"], ["baseline"], FAST, cache=cache)
+    assert cache.stats.hits == 1
+    assert (
+        first[0].results["baseline"].ipc == second[0].results["baseline"].ipc
+    )
+
+
+def test_sweep_rejects_overrides_with_config_systems():
+    with pytest.raises(ValueError):
+        sweep_workloads(
+            ["MP3"], [make_system("baseline")], FAST, wow_max_group=2
+        )
+
+
 def test_geometric_mean():
     assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
     assert geometric_mean([]) == 0.0

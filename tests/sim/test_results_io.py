@@ -64,6 +64,23 @@ def test_load_rejects_non_list(tmp_path):
         load_results(path)
 
 
+def test_save_results_is_atomic_and_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "results.json"
+    save_results(path, [_result()])
+    save_results(path, [_result(), _result()])  # overwrite in place
+    assert [p.name for p in tmp_path.iterdir()] == ["results.json"]
+    assert len(load_results(path)) == 2
+
+
+def test_atomic_write_text_creates_parents(tmp_path):
+    from repro.sim.results_io import atomic_write_text
+
+    path = tmp_path / "deep" / "nested" / "out.txt"
+    atomic_write_text(path, "hello")
+    assert path.read_text() == "hello"
+    assert [p.name for p in path.parent.iterdir()] == ["out.txt"]
+
+
 def test_convenience_fields_present():
     data = result_to_dict(_result())
     assert "ipc" in data and "write_throughput" in data

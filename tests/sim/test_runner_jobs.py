@@ -1,0 +1,84 @@
+"""Unit tests for the sweep runner's job model and content hashing."""
+
+import enum
+from dataclasses import replace
+
+import pytest
+
+from repro.core.systems import make_system
+from repro.memory.timing import DEFAULT_TIMING
+from repro.sim.runner import SweepJob, canonical, content_hash, derive_seed
+from repro.sim.simulator import SimulationParams
+
+FAST = SimulationParams(instructions_per_core=2_000, n_cores=2)
+
+
+class _Colour(enum.Enum):
+    RED = "red"
+
+
+def test_canonical_handles_dataclasses_enums_tuples():
+    data = canonical(
+        {"system": make_system("rwow-rde"), "colour": _Colour.RED, "t": (1, 2)}
+    )
+    assert data["colour"] == "red"
+    assert data["t"] == [1, 2]
+    assert data["system"]["name"] == "rwow-rde"
+    assert data["system"]["timing"]["write_mode"] == "fixed"
+
+
+def test_canonical_rejects_unhashable_objects():
+    with pytest.raises(TypeError):
+        canonical(object())
+
+
+def test_content_hash_is_order_independent_for_dicts():
+    assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+
+
+def test_derive_seed_is_stable_and_decorrelated():
+    seed = derive_seed(1, "canneal", "baseline")
+    assert seed == derive_seed(1, "canneal", "baseline")
+    assert seed > 0
+    assert seed != derive_seed(1, "canneal", "rwow-rde")
+    assert seed != derive_seed(1, "MP1", "baseline")
+    assert seed != derive_seed(2, "canneal", "baseline")
+
+
+def test_build_resolves_names_and_derives_seed():
+    job = SweepJob.build("canneal", "baseline", FAST)
+    assert job.workload.name == "canneal"
+    assert job.system.name == "baseline"
+    assert job.params.seed == derive_seed(FAST.seed, "canneal", "baseline")
+    # Everything else about the params is preserved.
+    assert job.params.instructions_per_core == FAST.instructions_per_core
+
+
+def test_build_rejects_overrides_with_config():
+    with pytest.raises(ValueError):
+        SweepJob.build("canneal", make_system("baseline"), FAST, wow_max_group=2)
+
+
+def test_cache_key_is_stable():
+    a = SweepJob.build("canneal", "rwow-rde", FAST)
+    b = SweepJob.build("canneal", "rwow-rde", FAST)
+    assert a.cache_key() == b.cache_key()
+
+
+def test_cache_key_varies_with_every_input():
+    base = SweepJob.build("canneal", "rwow-rde", FAST)
+    keys = {base.cache_key()}
+    # Different workload, system, params scale, base seed, system knob.
+    variants = [
+        SweepJob.build("MP1", "rwow-rde", FAST),
+        SweepJob.build("canneal", "baseline", FAST),
+        SweepJob.build("canneal", "rwow-rde", replace(FAST, target_requests=9)),
+        SweepJob.build("canneal", "rwow-rde", replace(FAST, seed=7)),
+        SweepJob.build("canneal", "rwow-rde", FAST, wow_max_group=2),
+        SweepJob.build(
+            "canneal", "rwow-rde", FAST, timing=DEFAULT_TIMING.symmetric()
+        ),
+    ]
+    for job in variants:
+        keys.add(job.cache_key())
+    assert len(keys) == len(variants) + 1

@@ -1,0 +1,68 @@
+"""Regression tests for the benchmark harness (benchmarks/common.py).
+
+Most importantly: the process-wide figure-sweep memo must be keyed on the
+sweep parameters — the old fixed ``"figures"`` key returned a stale sweep
+after ``SWEEP_PARAMS`` changed.
+"""
+
+import benchmarks.common as common
+from repro.sim.simulator import SimulationParams
+
+
+def test_figure_sweep_memo_keyed_on_params(monkeypatch):
+    calls = []
+    monkeypatch.setattr(common, "_SWEEP_CACHE", {})
+    monkeypatch.setattr(
+        common,
+        "run_grid",
+        lambda workloads, systems=None, params=None: (
+            calls.append(params) or [f"sweep-{len(calls)}"]
+        ),
+    )
+    first = common.figure_sweep()
+    assert common.figure_sweep() is first   # memo hit, no second run
+    assert len(calls) == 1
+
+    # Changing the run scale must produce a fresh sweep, not the memo.
+    monkeypatch.setattr(
+        common, "SWEEP_PARAMS", SimulationParams(target_requests=123)
+    )
+    second = common.figure_sweep()
+    assert len(calls) == 2
+    assert second is not first
+    assert calls[1].target_requests == 123
+
+    # And going back to the original params restores the original sweep
+    # without re-running it.
+    monkeypatch.setattr(
+        common, "SWEEP_PARAMS", SimulationParams(target_requests=4_000)
+    )
+    assert common.figure_sweep() is first
+    assert len(calls) == 2
+
+
+def test_memo_key_distinguishes_params():
+    a = common._sweep_memo_key(["w"], SimulationParams(target_requests=100))
+    b = common._sweep_memo_key(["w"], SimulationParams(target_requests=200))
+    c = common._sweep_memo_key(["w2"], SimulationParams(target_requests=100))
+    assert len({a, b, c}) == 3
+    assert a == common._sweep_memo_key(["w"], SimulationParams(target_requests=100))
+
+
+def test_sweep_jobs_count_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_JOBS", "3")
+    assert common.sweep_jobs_count() == 3
+    monkeypatch.setenv("REPRO_SWEEP_JOBS", "0")
+    assert common.sweep_jobs_count() == 1
+    monkeypatch.delenv("REPRO_SWEEP_JOBS")
+    assert common.sweep_jobs_count() >= 1
+
+
+def test_sweep_cache_env_switches(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SWEEP_NO_CACHE", "1")
+    assert common.sweep_cache() is None
+    monkeypatch.delenv("REPRO_SWEEP_NO_CACHE")
+    monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+    cache = common.sweep_cache()
+    assert cache is not None
+    assert str(cache.directory) == str(tmp_path)

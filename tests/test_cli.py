@@ -37,6 +37,37 @@ def test_compare_command(capsys):
     assert "IPC improvement" in out
 
 
+def test_sweep_command_without_cache(capsys):
+    assert main([
+        "sweep", "--workloads", "MP2,MP3",
+        "--systems", "baseline,rwow-rde",
+        "--requests", "300", "--cores", "2",
+        "--jobs", "2", "--no-cache", "--quiet",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "workload MP2" in out and "workload MP3" in out
+    assert "cache:" not in out
+
+
+def test_sweep_command_reports_cache_hits(tmp_path, capsys):
+    argv = [
+        "sweep", "--workloads", "MP3", "--systems", "baseline",
+        "--requests", "300", "--cores", "2",
+        "--jobs", "1", "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert "1 misses" in cold.out and "1 writes" in cold.out
+    assert "MP3 x baseline: run" in cold.err  # progress on stderr
+
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert "1 hits" in warm.out
+    assert "MP3 x baseline: cache" in warm.err
+    # Cached and fresh runs print the same result table.
+    assert cold.out.splitlines()[:5] == warm.out.splitlines()[:5]
+
+
 def test_trace_command_writes_chrome_trace(tmp_path, capsys):
     import json
 
