@@ -10,8 +10,12 @@ memory-level trace is replayed against baseline vs PCMap memory with a
 functional backing store, checking end-to-end data integrity.
 
 Run:  python examples/full_hierarchy.py
+
+Set REPRO_EXAMPLE_REQUESTS to shrink the run (CI smoke-tests use it);
+the CPU trace is 15 accesses per requested memory operation.
 """
 
+import os
 import random
 
 from repro.analysis import format_table
@@ -52,6 +56,7 @@ def generate_cpu_trace(n_accesses=60_000, seed=42):
 
 
 def main() -> None:
+    requests = int(os.environ.get("REPRO_EXAMPLE_REQUESTS", "4000"))
     # Scaled-down hierarchy so the working set actually spills to PCM.
     hierarchy = CacheHierarchy(
         n_cores=1,
@@ -61,7 +66,7 @@ def main() -> None:
             dram_cache=DramCacheConfig(size_bytes=512 * 1024, associativity=8),
         ),
     )
-    cpu_trace = generate_cpu_trace()
+    cpu_trace = generate_cpu_trace(n_accesses=15 * requests)
     memory_trace, levels = hierarchy.replay(0, cpu_trace)
 
     print("Cache hierarchy filtering:")
@@ -102,7 +107,7 @@ def main() -> None:
     checked = 0
     # Replay the tail of the trace: the head is cold fills only, while
     # the tail mixes fills with dirty evictions.
-    for record in memory_trace[-4_000:]:
+    for record in memory_trace[-requests:]:
         req_id += 1
         if record.kind is AccessKind.WRITE_BACK:
             decoded = memory.mapper.decode(record.address)

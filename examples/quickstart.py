@@ -8,8 +8,11 @@ IPC, intra-rank-level parallelism (IRLP) during writes, effective read
 latency and write throughput.
 
 Run:  python examples/quickstart.py [workload]
+
+Set REPRO_EXAMPLE_REQUESTS to shrink the run (CI smoke-tests use it).
 """
 
+import os
 import sys
 
 from repro.analysis import format_table, percent
@@ -19,7 +22,9 @@ from repro.sim.simulator import SimulationParams
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "canneal"
-    params = SimulationParams(target_requests=4_000)
+    params = SimulationParams(
+        target_requests=int(os.environ.get("REPRO_EXAMPLE_REQUESTS", "4000"))
+    )
 
     print(f"Simulating workload {workload!r} on 8 cores, 4 PCM channels...")
     comparison = compare_systems(workload, ["baseline", "rwow-rde"], params)

@@ -11,8 +11,11 @@ leveller.  This example measures both:
    a hot-spot stream (the orthogonal mechanism).
 
 Run:  python examples/wear_leveling.py
+
+Set REPRO_EXAMPLE_REQUESTS to shrink the run (CI smoke-tests use it).
 """
 
+import os
 import random
 
 from repro.analysis import format_table
@@ -23,7 +26,9 @@ from repro.sim.simulator import SimulationParams
 
 def chip_level_rotation() -> None:
     print("=== Chip-level wear: layout rotation (paper §IV-C2) ===\n")
-    params = SimulationParams(target_requests=3_000)
+    params = SimulationParams(
+        target_requests=int(os.environ.get("REPRO_EXAMPLE_REQUESTS", "3000"))
+    )
     rows = []
     for system in ("baseline", "rwow-nr", "rwow-rde"):
         result = run_workload("canneal", system, params)

@@ -6,8 +6,11 @@ a few representative workloads and prints the four figure-style tables
 (IRLP, write throughput, effective read latency, IPC improvement).
 
 Run:  python examples/workload_study.py [workload ...]
+
+Set REPRO_EXAMPLE_REQUESTS to shrink the run (CI smoke-tests use it).
 """
 
+import os
 import sys
 
 from repro.analysis import FigureSeries, figure_report, percent, ratio
@@ -20,7 +23,9 @@ DEFAULT_WORKLOADS = ["canneal", "streamcluster", "MP1", "MP4"]
 
 def main() -> None:
     workloads = sys.argv[1:] or DEFAULT_WORKLOADS
-    params = SimulationParams(target_requests=3_000)
+    params = SimulationParams(
+        target_requests=int(os.environ.get("REPRO_EXAMPLE_REQUESTS", "3000"))
+    )
     print(f"Sweeping {len(SYSTEM_NAMES)} systems x {len(workloads)} workloads...")
     comparisons = sweep_workloads(workloads, params=params)
 

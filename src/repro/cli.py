@@ -30,7 +30,11 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import format_table, percent
-from repro.core.systems import SYSTEM_NAMES, make_system
+from repro.core.systems import (
+    COMPARATOR_SYSTEM_NAMES,
+    SYSTEM_NAMES,
+    make_system,
+)
 from repro.sim.experiment import compare_systems, run_workload, sweep_workloads
 from repro.sim.runner import ResultCache, SweepProgress
 from repro.sim.simulator import SimulationParams
@@ -87,7 +91,7 @@ def cmd_list_workloads(_args: argparse.Namespace) -> int:
 
 def cmd_list_systems(_args: argparse.Namespace) -> int:
     rows = []
-    for name in SYSTEM_NAMES + ["write-pausing"]:
+    for name in SYSTEM_NAMES + COMPARATOR_SYSTEM_NAMES:
         config = make_system(name)
         rows.append([name, config.describe().split(": ", 1)[1]])
     print(format_table(["system", "features"], rows))
@@ -252,7 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_p = sub.add_parser("compare", help="one workload across systems")
     cmp_p.add_argument("--workload", required=True)
-    cmp_p.add_argument("--systems", help="comma-separated (default: all six)")
+    cmp_p.add_argument(
+        "--systems",
+        help="comma-separated (default: all six; comparators "
+             f"{','.join(COMPARATOR_SYSTEM_NAMES)} also accepted)",
+    )
     add_common(cmp_p)
     cmp_p.set_defaults(func=cmd_compare)
 

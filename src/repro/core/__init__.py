@@ -2,7 +2,11 @@
 
 from repro.core.config import SystemConfig, pcmap_config
 from repro.core.controller import PCMapController
-from repro.core.pausing import WritePausingController
+from repro.core.fine import FineWriteEngine, FineWritePolicy, SilentWritePolicy
+from repro.core.palp import PartitionParallelWritePolicy
+from repro.core.pausing import WritePausingController, WritePausingPolicy
+from repro.core.row import ReadOverWritePolicy
+from repro.core.wow import WriteOverWritePolicy
 from repro.core.essential import EssentialWordDetector, EssentialWordStats, diff_words
 from repro.core.rotation import (
     DataRotatedLayout,
@@ -13,9 +17,11 @@ from repro.core.rotation import (
 )
 from repro.core.status import DimmStatusRegister, StatusSnapshot
 from repro.core.systems import (
+    COMPARATOR_SYSTEM_NAMES,
     PCMAP_SYSTEM_NAMES,
     SYSTEM_NAMES,
     all_systems,
+    build_policies,
     make_system,
 )
 
@@ -23,7 +29,14 @@ __all__ = [
     "SystemConfig",
     "pcmap_config",
     "PCMapController",
+    "FineWriteEngine",
+    "FineWritePolicy",
+    "SilentWritePolicy",
+    "PartitionParallelWritePolicy",
     "WritePausingController",
+    "WritePausingPolicy",
+    "ReadOverWritePolicy",
+    "WriteOverWritePolicy",
     "EssentialWordDetector",
     "EssentialWordStats",
     "diff_words",
@@ -34,8 +47,10 @@ __all__ = [
     "make_layout",
     "DimmStatusRegister",
     "StatusSnapshot",
+    "COMPARATOR_SYSTEM_NAMES",
     "PCMAP_SYSTEM_NAMES",
     "SYSTEM_NAMES",
     "all_systems",
+    "build_policies",
     "make_system",
 ]

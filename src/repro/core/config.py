@@ -41,6 +41,11 @@ class SystemConfig:
     #: Prior-art comparator: reads preempt ongoing writes (write pausing,
     #: the paper's related work [11]).  Mutually exclusive with PCMap.
     enable_write_pausing: bool = False
+    #: Scope of the write-engine token serialising array write service:
+    #: ``"rank"`` models the rank-wide PCM write-power budget (all PCMap
+    #: systems); ``"bank"`` frees concurrent services on distinct banks —
+    #: the PALP-style ``palp-lite`` comparator (Song et al.).
+    write_engine_scope: str = "rank"
 
     # ----- controller policy -------------------------------------------
     read_queue_capacity: int = 8
@@ -92,6 +97,21 @@ class SystemConfig:
             raise ValueError("row_max_essential_words must be >= 1")
         if self.wow_max_group < 1:
             raise ValueError("wow_max_group must be >= 1")
+        if self.write_engine_scope not in ("rank", "bank"):
+            raise ValueError(
+                f"unknown write_engine_scope {self.write_engine_scope!r}; "
+                "expected 'rank' or 'bank'"
+            )
+        if self.write_engine_scope == "bank":
+            if not self.fine_grained_writes:
+                raise ValueError(
+                    "a bank-scoped write engine requires fine-grained writes"
+                )
+            if self.enable_row or self.enable_wow:
+                raise ValueError(
+                    "the bank-scoped write engine is the PALP-style "
+                    "comparator; it cannot be combined with RoW/WoW"
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -120,6 +140,8 @@ class SystemConfig:
             features.append("rot(data)")
         if self.enable_write_pausing:
             features.append("write pausing (prior art)")
+        if self.write_engine_scope == "bank":
+            features.append("partition-parallel writes (prior art)")
         if not features:
             features.append("coarse writes, read-priority drain")
         return f"{self.name}: {', '.join(features)}"

@@ -1,116 +1,84 @@
-"""PCMap memory controller: fine-grained writes, RoW and WoW (paper §IV).
+"""PCMap channel controller: a thin composition root (paper §IV).
 
-Subclasses the baseline controller and replaces only the write-issue path.
-The scheduling decision at the head of the write queue follows §IV-D2:
+The scheduling logic that used to live here as one 767-line monolith is
+now a policy chain (see :mod:`repro.memory.policy`):
 
-1. head write has one essential word and the read queue is non-empty and
-   RoW is enabled  -> open a **RoW window**: issue the write as a two-step
-   fine-grained write (data+ECC, then PCC) and overlap reads with it,
-   reconstructing any word blocked by a busy chip from the PCC parity;
-2. otherwise, if WoW is enabled -> build a **WoW group**: consolidate the
-   head write with younger writes whose (rotated) dirty chip sets are
-   disjoint and idle;
-3. otherwise -> a plain fine-grained write of the head.
+* :mod:`repro.core.fine` — the fine-grained write engine plus the
+  silent-write and plain fine-write policies (§IV-A2);
+* :mod:`repro.core.row` — RoW windows, overlap-read admission, deferred
+  verify and rollback (§IV-B);
+* :mod:`repro.core.wow` — two-pass WoW group admission and service
+  (§IV-C);
+* :mod:`repro.core.palp` — the PALP-style partition-parallel comparator.
 
-All chip occupancy flows through the per-chip reservations of
-:class:`repro.memory.rank.RankState`; ECC and PCC word updates reserve
-their chip like any other array write, so the fixed-ECC-chip serialisation
-the paper describes (and rotation removes) emerges from the resource
-model rather than from special-case code.
+:func:`repro.core.systems.build_policies` maps the config's feature
+flags to the chain, so the §IV-D2 dispatch order (silent -> RoW ->
+WoW -> plain fine) is the chain order rather than an if/elif ladder.
+
+What remains here is only what is genuinely per-controller state shared
+by every fine-grained policy: the :class:`~repro.core.fine.FineWriteEngine`,
+the DIMM status registers, and the oldest-*ready*-first write-candidate
+discipline that replaces the baseline's strict FIFO.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
+from repro.core.fine import FineWriteEngine
 from repro.core.status import DimmStatusRegister
-from repro.ecc import hamming, parity
-from repro.memory.address import DecodedAddress
-from repro.memory.bus import BusDirection
 from repro.memory.controller import MemoryController
-from repro.memory.rank import RankState
-from repro.memory.request import (
-    MemoryRequest,
-    ServiceClass,
-    WORDS_PER_LINE,
-)
-from repro.sim.metrics import WriteWindow
-from repro.telemetry import EventType, TraceEvent
+from repro.memory.policy import PolicyChain, WriteContext
+from repro.memory.request import MemoryRequest
 
 
 class PCMapController(MemoryController):
-    """Controller for the five PCMap system variants."""
+    """Controller for the five PCMap system variants (and ``palp-lite``)."""
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
+    def _build_policy_chain(self) -> PolicyChain:
         if not self.config.fine_grained_writes:
             raise ValueError(
                 "PCMapController requires fine_grained_writes; "
                 "use MemoryController for the baseline"
             )
-        metrics = self.telemetry.metrics
-        self._m_row_attempts = metrics.counter("row.attempts")
-        self._m_row_windows = metrics.counter("row.windows")
-        self._m_row_reads = metrics.counter("row.reads")
-        self._m_row_overlap = metrics.counter("row.overlap_reads")
-        self._m_wow_groups = metrics.counter("wow.groups")
-        self._m_wow_members = metrics.counter("wow.member_writes")
-        self._m_rollbacks = metrics.counter("rollbacks")
-        self._m_verifications = metrics.counter("verifications")
-        self._m_row_declined = {}  # reason -> cached Counter
+        # Shared resources the fine-grained policies bind against; they
+        # must exist before the chain is composed.
+        self.fine = FineWriteEngine(
+            self, scope=self.config.write_engine_scope
+        )
         self.status_registers = [
             DimmStatusRegister(rank, self.timing) for rank in self.ranks
         ]
-        self._inflight_writes = 0
-        # One write *group* in array-service per rank at a time: the PCM
-        # write-power budget serialises array writes rank-wide (DESIGN.md
-        # §5); WoW packs disjoint writes into the single service slot and
-        # RoW overlaps reads with it, which is exactly the paper's model.
-        self._write_engine_free = [0] * len(self.ranks)
-        # The currently open RoW window per rank (window, reads issued);
-        # reads arriving while it is open are overlapped immediately.
-        self._active_row_window: List[Optional[WriteWindow]] = [
-            None
-        ] * len(self.ranks)
-        self._active_row_reads = [0] * len(self.ranks)
+        return super()._build_policy_chain()
+
+    @property
+    def _inflight_writes(self) -> int:
+        """Fine-grained writes currently in flight (engine-owned count)."""
+        return self.fine.inflight
 
     # ==================================================================
-    # Request intake: reads arriving mid-window join the open RoW window
+    # Write-candidate discipline
     # ==================================================================
-    def submit(self, request: MemoryRequest) -> None:
-        super().submit(request)
-        if not request.is_read or request.completion >= 0:
-            return
-        if request not in self.read_q:
-            return  # already issued or forwarded by the base path
-        decoded = self.mapper.decode(request.address)
-        window = self._active_row_window[decoded.rank]
-        if window is None or window.end <= self.engine.now:
-            self._active_row_window[decoded.rank] = None
-            return
-        self._overlap_reads(decoded.rank, window, self.engine.now)
+    def select_write_candidate(self, now: int) -> Optional[WriteContext]:
+        """Oldest-*ready*-first over the write queue.
 
-    # ==================================================================
-    # Write-issue dispatch (§IV-D2)
-    # ==================================================================
-    def _try_issue_write(self, now: int) -> bool:
-        if self.write_q.empty:
-            return False
-        if self._inflight_writes >= self.config.max_inflight_writes:
-            return False  # completions will re-kick
-
-        # Oldest-*ready*-first: strict FIFO would stall whenever the head's
-        # (rotated) chips are still finishing an earlier window's ECC/PCC
-        # update even though younger writes could proceed on idle chips.
+        Strict FIFO would stall whenever the head's (rotated) chips are
+        still finishing an earlier window's ECC/PCC update even though
+        younger writes could proceed on idle chips.  The write-engine
+        token gates dirty writes only; silent (zero-dirty) candidates
+        need their data chips readable, not the engine.
+        """
+        if self.fine.inflight >= self.config.max_inflight_writes:
+            return None  # completions will re-kick
         head: Optional[MemoryRequest] = None
-        decoded: Optional[DecodedAddress] = None
+        decoded = None
         earliest: Optional[int] = None
         for req in self.write_q.entries():
             if req.start_service >= 0:
                 continue  # already in flight (entry held until completion)
             candidate = self.mapper.decode(req.address)
             rank = self.ranks[candidate.rank]
-            engine_free = self._write_engine_free[candidate.rank]
+            engine_free = self.fine.free_at(candidate)
             if req.dirty_count == 0:
                 chips = self.layout.all_data_chips(candidate.line_address)
                 ready = rank.read_ready_time(chips, candidate.bank)
@@ -130,638 +98,9 @@ class PCMapController(MemoryController):
         if head is None or decoded is None:
             if earliest is not None:
                 self._note_wake(earliest)
-            return False
-
-        if head.dirty_count == 0:
-            self._issue_silent_write(head, decoded, now)
-            return True
-        use_row = False
-        if self.config.enable_row:
-            # The decline reason mirrors the short-circuit order of the
-            # scheduling predicate (§IV-D2) so traces explain decisions.
-            if head.dirty_count > self.config.row_max_essential_words:
-                decline = "too-many-essential-words"
-            elif self.read_q.empty:
-                decline = "no-queued-reads"
-            elif self.config.enable_wow and self.write_q.above_high_watermark:
-                # Under critical write pressure a WoW group moves more
-                # data than a RoW window; prefer RoW once off-peak.
-                decline = "write-pressure"
-            elif not self._row_window_useful(head, decoded, now):
-                decline = "no-overlappable-read"
-            else:
-                decline = ""
-                use_row = True
-            self._m_row_attempts.inc()
-            if self.tracer.enabled:
-                self.tracer.emit(TraceEvent(
-                    EventType.ROW_ATTEMPT,
-                    tick=now,
-                    channel=self.channel_id,
-                    rank=decoded.rank,
-                    req_id=head.req_id,
-                ))
-            if decline:
-                self._row_declined(decline)
-                if self.tracer.enabled:
-                    self.tracer.emit(TraceEvent(
-                        EventType.ROW_DECLINE,
-                        tick=now,
-                        channel=self.channel_id,
-                        rank=decoded.rank,
-                        req_id=head.req_id,
-                        reason=decline,
-                    ))
-        if use_row:
-            data_end = self._issue_row_window(head, decoded, now)
-        elif self.config.enable_wow:
-            data_end = self._issue_wow_group(head, decoded, now)
-        else:
-            window = self._open_window(-1, -1)
-            _start, _data_end, data_end = self._issue_fine_write(
-                head, decoded, now, window=window
-            )
-        self._write_engine_free[decoded.rank] = max(
-            self._write_engine_free[decoded.rank], data_end
-        )
-        return True
-
-    def _row_declined(self, reason: str) -> None:
-        """Bump the per-reason decline counter (cached per reason)."""
-        counter = self._m_row_declined.get(reason)
-        if counter is None:
-            counter = self.telemetry.metrics.counter(f"row.declined.{reason}")
-            self._m_row_declined[reason] = counter
-        counter.inc()
-
-    # ==================================================================
-    # Fine-grained writes (§IV-A2)
-    # ==================================================================
-    def _issue_silent_write(
-        self, req: MemoryRequest, decoded: DecodedAddress, now: int
-    ) -> None:
-        """Zero-dirty write-back: read-before-write finds nothing to change.
-
-        The chips still perform the compare, which costs one array read on
-        the line's data chips but never engages the write circuitry.
-        """
-        rank = self.ranks[decoded.rank]
-        chips = self.layout.all_data_chips(decoded.line_address)
-        start = max(
-            now + self.timing.status_poll_ticks,
-            rank.read_ready_time(chips, decoded.bank),
-        )
-        end = start + self.timing.array_read_ticks
-        rank.log_label = f"Cmp-{req.req_id}"
-        rank.reserve_read(chips, decoded.bank, end, decoded.row, start=start)
-        req.service_class = ServiceClass.SILENT
-        # Zero-activity window: silent write-backs count toward IRLP.
-        self._open_window(start, end)
-        self._begin_inflight_write(req, start, end, decoded)
-
-    def _issue_fine_write(
-        self,
-        req: MemoryRequest,
-        decoded: DecodedAddress,
-        now: int,
-        window: WriteWindow,
-        defer_pcc: bool = False,
-    ) -> Tuple[int, int, int]:
-        """Issue one write touching only its essential-word chips.
-
-        Reserves each dirty chip for transfer + read-before-write + array
-        write, the ECC chip for its word update, and the PCC chip either
-        immediately or (``defer_pcc``, the RoW two-step) once the data
-        step finishes.  Returns ``(start, data_end, service_end)``; the
-        service end covers the ECC/PCC updates, which without rotation
-        serialise on the fixed code chips and stretch the window exactly
-        as the paper's Figure 5(d) shows.
-
-        Chip activity is attributed to ``window`` for IRLP accounting.
-        """
-        rank = self.ranks[decoded.rank]
-        line = decoded.line_address
-        bank, row = decoded.bank, decoded.row
-        start = now + self.timing.status_poll_ticks
-
-        data_end = start
-        window_start: Optional[int] = None
-        for word in req.dirty_words:
-            chip = self.layout.data_chip(line, word)
-            chip_start = max(start, rank.chips[chip].write_ready(bank))
-            _xs, xfer_end = self.bus.reserve_partial(
-                chip, BusDirection.WRITE, chip_start
-            )
-            # The word-write latency includes the chip's internal
-            # read-before-write (Figure 5 charges no separate activation).
-            array_start = xfer_end
-            ticks = self._word_write_ticks(req, word)
-            chip_end = array_start + ticks
-            rank.log_label = f"Wr-{req.req_id}"
-            rank.reserve_chip_write(chip, bank, chip_end, row, start=array_start)
-            self.stats.record_chip_write(chip)
-            # Route through _record_activity so concurrent windows (other
-            # in-flight writes) see this chip as busy too — IRLP counts
-            # every chip serving *some* request during a write window.
-            self._record_activity((chip,), array_start, chip_end)
-            data_end = max(data_end, chip_end)
-            if window_start is None or array_start < window_start:
-                window_start = array_start
-        window.absorb(window_start if window_start is not None else start, data_end)
-
-        ecc_end = self._issue_code_update(
-            rank, self.layout.ecc_chip(line), bank, row, earliest=start
-        )
-        pcc_chip = self.layout.pcc_chip(line)
-        completion = max(data_end, ecc_end)
-
-        if pcc_chip is None:
-            window.extend(completion)
-            window.note_service_end(completion)
-            self._begin_inflight_write(req, start, completion, decoded)
-        elif defer_pcc:
-            # RoW step 2: the PCC update starts right after the data step
-            # so the chip stays free for reconstruction meanwhile.  The
-            # reservation is made *at* data_end (not now) so overlapped
-            # reads can use the PCC chip during step 1.
-            self._begin_inflight_write(
-                req, start, completion, decoded, hold_completion=True
-            )
-
-            def _step_two() -> None:
-                pcc_end = self._issue_code_update(
-                    rank, pcc_chip, bank, row, earliest=self.engine.now
-                )
-                final = max(completion, pcc_end)
-                window.extend(final)
-                window.note_service_end(final)
-                self.engine.schedule_at(
-                    final, lambda: self._complete_write(req)
-                )
-
-            self.engine.schedule_at(data_end, _step_two)
-        else:
-            pcc_end = self._issue_code_update(
-                rank, pcc_chip, bank, row, earliest=start
-            )
-            completion = max(completion, pcc_end)
-            window.extend(completion)
-            window.note_service_end(completion)
-            self._begin_inflight_write(req, start, completion, decoded)
-        return start, data_end, completion
-
-    def _issue_code_update(
-        self, rank: RankState, chip: int, bank: int, row: int, earliest: int
-    ) -> int:
-        """Reserve an ECC/PCC word update on ``chip``; returns its end tick.
-
-        The update is a differential PCM word write (cheaper than a full
-        data word, see TimingParams.ecc_update_fraction).  Updates queue
-        up behind whatever the chip is already doing — this is the
-        serialisation that pins down WoW without ECC rotation.
-        """
-        chip_start = max(earliest, rank.chips[chip].write_ready(bank))
-        _xs, xfer_end = self.bus.reserve_partial(
-            chip, BusDirection.WRITE, chip_start
-        )
-        # ecc_update_ticks is all-inclusive (read-modify-write of the
-        # code word), mirroring the data-word write cost model.
-        end = xfer_end + self.timing.ecc_update_ticks
-        rank.log_label = "code-update"
-        rank.reserve_chip_write(chip, bank, end, row, start=xfer_end)
-        self.stats.record_chip_write(chip)
-        return end
-
-    def _begin_inflight_write(
-        self,
-        req: MemoryRequest,
-        start: int,
-        completion: int,
-        decoded: DecodedAddress,
-        hold_completion: bool = False,
-    ) -> None:
-        """Common issue bookkeeping; schedules completion unless held.
-
-        The queue entry stays until completion (see the base class note).
-        """
-        req.start_service = start
-        if self.storage is not None and req.new_words is not None:
-            self.storage.write_line(
-                decoded.line_address, req.new_words, req.dirty_mask
-            )
-        self._inflight_writes += 1
-        if not hold_completion:
-            self.engine.schedule_at(
-                completion, lambda: self._complete_write(req)
-            )
+            return None
+        return WriteContext(now, head, decoded)
 
     def _complete_write(self, req: MemoryRequest) -> None:
-        self._inflight_writes -= 1
+        self.fine.note_write_complete()
         super()._complete_write(req)
-
-    # ==================================================================
-    # WoW: write-over-write consolidation (§IV-C)
-    # ==================================================================
-    def _issue_wow_group(
-        self, head: MemoryRequest, decoded_head: DecodedAddress, now: int
-    ) -> int:
-        """Consolidate chip-disjoint writes; returns the group's data end.
-
-        Members may target any bank of the seed's rank — §IV-D2's policy
-        selects "one or more write requests that can be parallelized with
-        [the] on-going write", constrained only by pairwise-disjoint
-        (rotated) dirty-chip sets that are idle now.
-        """
-        rank = self.ranks[decoded_head.rank]
-
-        def chip_sets(req, decoded):
-            line = decoded.line_address
-            data = set(self.layout.dirty_chips(line, req.dirty_mask))
-            code = {self.layout.ecc_chip(line)}
-            pcc = self.layout.pcc_chip(line)
-            if pcc is not None:
-                code.add(pcc)
-            return data, code
-
-        head_data, head_code = chip_sets(head, decoded_head)
-        members: List[Tuple[MemoryRequest, DecodedAddress]] = [
-            (head, decoded_head)
-        ]
-        occupied_all = head_data | head_code
-        budget = self.config.max_inflight_writes - self._inflight_writes
-        limit = min(self.config.wow_max_group, budget)
-
-        # Two-pass greedy: first pack members whose data *and* code chips
-        # are disjoint from the group (their whole service runs in
-        # parallel — what rotation makes possible); then admit members
-        # whose data chips are free but whose ECC/PCC updates collide and
-        # serialise within the window (Figure 5(d), the NR behaviour).
-        for require_code_disjoint in (True, False):
-            for req in self.write_q.entries():
-                if len(members) >= limit:
-                    break
-                if (
-                    req is head
-                    or req.dirty_count == 0
-                    or req.start_service >= 0
-                    or any(req is member for member, _d in members)
-                ):
-                    continue
-                decoded = self.mapper.decode(req.address)
-                if decoded.rank != decoded_head.rank:
-                    continue
-                data, code = chip_sets(req, decoded)
-                if occupied_all.intersection(data):
-                    continue
-                if require_code_disjoint and occupied_all.intersection(code):
-                    continue
-                if rank.write_ready_time(data, decoded.bank) > now:
-                    continue
-                members.append((req, decoded))
-                occupied_all.update(data | code)
-
-        window = self._open_window(-1, -1)
-        grouped = len(members) > 1
-        if grouped and self.tracer.enabled:
-            self.tracer.emit(TraceEvent(
-                EventType.WOW_OPEN,
-                tick=now,
-                channel=self.channel_id,
-                rank=decoded_head.rank,
-                req_id=head.req_id,
-                extra={"group_size": len(members)},
-            ))
-            for req, _decoded in members[1:]:
-                self.tracer.emit(TraceEvent(
-                    EventType.WOW_JOIN,
-                    tick=now,
-                    channel=self.channel_id,
-                    rank=decoded_head.rank,
-                    req_id=req.req_id,
-                ))
-        group_service_end = now
-        for req, decoded in members:
-            if grouped:
-                req.service_class = ServiceClass.WOW_MEMBER
-            _start, _data_end, service_end = self._issue_fine_write(
-                req, decoded, now, window=window
-            )
-            # The write engine is held through the serialised ECC/PCC
-            # updates of the whole group (Figure 5(d)): without rotation
-            # this is what limits WoW's bandwidth gain.
-            group_service_end = max(group_service_end, service_end)
-        if grouped:
-            self.stats.wow_groups += 1
-            self.stats.wow_member_writes += len(members)
-            self._m_wow_groups.inc()
-            self._m_wow_members.inc(len(members))
-            if self.tracer.enabled:
-                self.tracer.emit(TraceEvent(
-                    EventType.WOW_CLOSE,
-                    tick=now,
-                    channel=self.channel_id,
-                    rank=decoded_head.rank,
-                    req_id=head.req_id,
-                    end=group_service_end,
-                    extra={"group_size": len(members)},
-                ))
-        return group_service_end
-
-    # ==================================================================
-    # RoW: read-over-write (§IV-B)
-    # ==================================================================
-    def _row_window_useful(
-        self, head: MemoryRequest, decoded: DecodedAddress, now: int
-    ) -> bool:
-        """Would opening a RoW window for ``head`` serve any queued read?
-
-        Cheap pre-check so a WoW slot is not wasted on a window no read
-        can join (e.g. every queued read needs two busy chips).
-        """
-        rank = self.ranks[decoded.rank]
-        head_chips = set(
-            self.layout.dirty_chips(decoded.line_address, head.dirty_mask)
-        )
-        busy = set(rank.busy_chips_at(now)) | head_chips
-        for req in self.read_q:
-            read_decoded = self.mapper.decode(req.address)
-            if read_decoded.rank != decoded.rank:
-                continue
-            line = read_decoded.line_address
-            word_chips = self.layout.all_data_chips(line)
-            blocked = [c for c in word_chips if c in busy]
-            pcc_chip = self.layout.pcc_chip(line)
-            ecc_chip = self.layout.ecc_chip(line)
-            if not blocked and ecc_chip not in busy:
-                return True  # a plain overlapped read fits
-            if (
-                len(blocked) == 1
-                and pcc_chip is not None
-                and pcc_chip not in busy
-            ):
-                return True  # reconstruction fits
-        return False
-
-    def _issue_row_window(
-        self, head: MemoryRequest, decoded: DecodedAddress, now: int
-    ) -> int:
-        """Two-step fine write plus overlapped reads; returns data end.
-
-        The engine frees at the *data* end: the PCC step runs on the PCC
-        chip only, so the next write's chips can proceed concurrently
-        (chip reservations serialise any PCC contention).
-        """
-        window = self._open_window(-1, -1)
-        _start, data_end, _service_end = self._issue_fine_write(
-            head, decoded, now, window=window, defer_pcc=True
-        )
-        self._m_row_windows.inc()
-        if self.tracer.enabled:
-            self.tracer.emit(TraceEvent(
-                EventType.ROW_SERVE,
-                tick=now,
-                channel=self.channel_id,
-                rank=decoded.rank,
-                req_id=head.req_id,
-                start=window.start,
-                end=window.end,
-            ))
-        self._active_row_window[decoded.rank] = window
-        self._active_row_reads[decoded.rank] = 0
-        self._overlap_reads(decoded.rank, window, now)
-        return data_end
-
-    def _overlap_reads(self, rank_index: int, window: WriteWindow, now: int) -> None:
-        """Serve reads concurrently with the open write window.
-
-        Walks the read queue oldest-first.  Each read either fits without
-        touching any write-busy chip (a plain overlapped read) or has
-        exactly one data word blocked, in which case the word is
-        reconstructed from the other seven plus the PCC word and the
-        SECDED check is deferred (§IV-B3).
-        """
-        rank = self.ranks[rank_index]
-        issued = 0
-        for req in list(self.read_q):
-            if (
-                self._active_row_reads[rank_index] + issued
-                >= self.config.row_max_overlapped_reads
-            ):
-                break
-            if req not in self.read_q:
-                # Issuing a read frees queue space, which can re-enter
-                # this method through the CPU's back-pressure waiter; the
-                # nested call may have issued entries of our snapshot.
-                continue
-            decoded = self.mapper.decode(req.address)
-            if decoded.rank != rank_index:
-                continue
-            line = decoded.line_address
-            word_chips = self.layout.all_data_chips(line)
-            ecc_chip = self.layout.ecc_chip(line)
-            pcc_chip = self.layout.pcc_chip(line)
-
-            # Overlapped reads must *finish* inside the window (plus the
-            # PCC step-2 tail, when the data chips are free anyway) so
-            # their own tails never stall the next write service.
-            read_cost = (
-                rank.activation_ticks(word_chips, decoded.bank, decoded.row)
-                + self.timing.read_io_ticks
-            )
-            deadline = window.end + self.timing.ecc_update_ticks
-
-            # Option A: wait for every chip (leftover ECC/PCC updates from
-            # earlier windows clear quickly) and read normally.
-            normal_chips = word_chips + (ecc_chip,)
-            normal_start = max(
-                now, rank.read_ready_time(normal_chips, decoded.bank)
-            )
-            # Option B: skip the single most-contended data chip (the one
-            # the ongoing write holds) and reconstruct its word from PCC.
-            recon_start: Optional[int] = None
-            missing: Optional[int] = None
-            if pcc_chip is not None:
-                missing = max(
-                    range(WORDS_PER_LINE),
-                    key=lambda w: rank.chips[word_chips[w]].write_busy_until,
-                )
-                recon_chips = tuple(
-                    chip for w, chip in enumerate(word_chips) if w != missing
-                ) + (pcc_chip,)
-                candidate = max(
-                    now, rank.read_ready_time(recon_chips, decoded.bank)
-                )
-                # Reconstruction only pays off while the skipped chip is
-                # actually still write-busy at that start time.
-                if rank.chips[word_chips[missing]].write_busy_until > candidate:
-                    recon_start = candidate
-
-            if recon_start is not None and recon_start < normal_start:
-                if recon_start + read_cost > deadline:
-                    continue
-                assert missing is not None
-                recon_chips = tuple(
-                    chip for w, chip in enumerate(word_chips) if w != missing
-                ) + (pcc_chip,)
-                self._issue_overlap_read(req, decoded, recon_chips, missing, now)
-                self.stats.row_reads += 1
-                self._m_row_reads.inc()
-                issued += 1
-            elif normal_start + read_cost <= deadline:
-                self._issue_overlap_read(req, decoded, normal_chips, None, now)
-                self.stats.row_normal_overlap_reads += 1
-                self._m_row_overlap.inc()
-                issued += 1
-        self._active_row_reads[rank_index] += issued
-
-    def _issue_overlap_read(
-        self,
-        req: MemoryRequest,
-        decoded: DecodedAddress,
-        chips: Tuple[int, ...],
-        missing_word: Optional[int],
-        now: int,
-    ) -> None:
-        """Issue a read over the partial buses, reconstructing if needed."""
-        rank = self.ranks[decoded.rank]
-        line, bank, row = decoded.line_address, decoded.bank, decoded.row
-        start = max(now, rank.read_ready_time(chips, bank))
-        activation = rank.activation_ticks(chips, bank, row)
-        cas_ready = start + activation + self.timing.cycles(self.timing.tCL)
-        end = cas_ready
-        for chip in chips:
-            _xs, xfer_end = self.bus.reserve_partial(
-                chip, BusDirection.READ, cas_ready
-            )
-            end = max(end, xfer_end)
-        rank.log_label = f"Rd-{req.req_id}"
-        rank.reserve_read(chips, bank, end, row, start=start)
-
-        req.start_service = start
-        req.delayed_by_write = True  # it arrived while a write was draining
-        if self.tracer.enabled:
-            self.tracer.emit(TraceEvent(
-                EventType.REQUEST_ISSUE,
-                tick=now,
-                channel=self.channel_id,
-                rank=decoded.rank,
-                bank=bank,
-                req_id=req.req_id,
-                start=start,
-                end=end,
-                kind="read",
-                reason=(
-                    "row-overlap" if missing_word is None
-                    else "row-reconstruction"
-                ),
-            ))
-        self._record_data_read_activity(decoded, missing_word, start, end)
-
-        if missing_word is None:
-            req.service_class = ServiceClass.NORMAL
-            if self.storage is not None:
-                req.data_words = self.storage.read_line(line).words
-            self.read_q.remove(req)
-            self.engine.schedule_at(end, lambda: self._complete_read(req))
-            return
-
-        req.service_class = ServiceClass.ROW_OVERLAP
-        if self.storage is not None:
-            stored = self.storage.read_line(line)
-            partial = [
-                None if w == missing_word else stored.words[w]
-                for w in range(WORDS_PER_LINE)
-            ]
-            req.data_words = parity.reconstruct_word(partial, stored.pcc)
-        self.read_q.remove(req)
-        self.engine.schedule_at(end, lambda: self._complete_read(req))
-        self._schedule_verify(req, decoded, missing_word, end)
-
-    def _record_data_read_activity(
-        self,
-        decoded: DecodedAddress,
-        missing_word: Optional[int],
-        start: int,
-        end: int,
-    ) -> None:
-        """IRLP accounting: the data chips a read keeps busy."""
-        chips = tuple(
-            chip
-            for w, chip in enumerate(
-                self.layout.all_data_chips(decoded.line_address)
-            )
-            if w != missing_word
-        )
-        self._record_activity(chips, start, end)
-
-    # ------------------------------------------------------------------
-    # Deferred verification and rollback (§IV-B3)
-    # ------------------------------------------------------------------
-    def _schedule_verify(
-        self,
-        req: MemoryRequest,
-        decoded: DecodedAddress,
-        missing_word: int,
-        read_end: int,
-    ) -> None:
-        """Arrange the SECDED check once the busy chip frees up."""
-        rank = self.ranks[decoded.rank]
-        chip = self.layout.data_chip(decoded.line_address, missing_word)
-        ecc_chip = self.layout.ecc_chip(decoded.line_address)
-
-        def _run_verify() -> None:
-            now = self.engine.now
-            chips = (chip, ecc_chip)
-            start = max(now, rank.read_ready_time(chips, decoded.bank))
-            activation = rank.activation_ticks(
-                chips, decoded.bank, decoded.row
-            )
-            end = start + activation + self.timing.read_io_ticks
-            rank.log_label = f"Vfy-{req.req_id}"
-            rank.reserve_read(chips, decoded.bank, end, decoded.row, start=start)
-            self.engine.schedule_at(end, lambda: self._finish_verify(req, decoded, missing_word))
-
-        wake_at = max(
-            read_end, rank.chips[chip].write_busy_until, self.engine.now
-        )
-        self.engine.schedule_at(wake_at, _run_verify)
-
-    def _finish_verify(
-        self, req: MemoryRequest, decoded: DecodedAddress, missing_word: int
-    ) -> None:
-        """Complete the deferred check; decide whether a rollback is due."""
-        now = self.engine.now
-        req.verify_completion = now
-        self.stats.verify_count += 1
-        self._m_verifications.inc()
-
-        corrupted = False
-        if self.storage is not None and req.data_words is not None:
-            stored = self.storage.read_line(decoded.line_address)
-            result = hamming.decode(
-                req.data_words[missing_word], stored.checks[missing_word]
-            )
-            corrupted = (
-                not result.ok or result.data != stored.words[missing_word]
-                or req.data_words[missing_word] != stored.words[missing_word]
-            )
-        # Statistical model: the CPU consumed the value before this check
-        # with the workload's probability (Table IV's rollback rates).
-        consumed_early = self.rng.random() < self.config.row_rollback_rate
-        rollback = corrupted or consumed_early
-        if rollback:
-            req.rolled_back = True
-            self.stats.rollbacks += 1
-            self._m_rollbacks.inc()
-            if self.tracer.enabled:
-                self.tracer.emit(TraceEvent(
-                    EventType.ROLLBACK,
-                    tick=now,
-                    channel=self.channel_id,
-                    rank=decoded.rank,
-                    req_id=req.req_id,
-                    reason="corrupted" if corrupted else "consumed-early",
-                ))
-        if req.on_verify is not None:
-            req.on_verify(req, rollback)
-        self._kick()

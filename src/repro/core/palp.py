@@ -1,0 +1,50 @@
+"""PALP-style comparator: partition-parallel write issue (related work).
+
+Song et al., "Enabling and Exploiting Partition-Level Parallelism in
+Phase Change Memories", observe that a PCM chip's write-power budget is
+provisioned per *partition* (bank), not per rank — so writes to distinct
+banks can be in array service simultaneously.  ``palp-lite`` models the
+scheduling consequence inside this simulator's resource model: the
+write-engine token is scoped per (rank, bank) instead of per rank
+(``SystemConfig.write_engine_scope = "bank"``), which lets the
+oldest-*ready*-first candidate scan pick a write to an idle bank while
+another bank's write is still in service.
+
+It deliberately has **no RoW and no WoW**: it is the comparator showing
+how far bank-level write parallelism alone goes against PCMap's
+overlap/consolidation mechanisms, mirroring the paper's related-work
+contrast (§VII).
+"""
+
+from __future__ import annotations
+
+from repro.core.fine import FineWritePolicy
+from repro.memory.policy import WriteContext
+
+
+class PartitionParallelWritePolicy(FineWritePolicy):
+    """Fine-grained writes with a bank-scoped write-engine token."""
+
+    name = "palp-partition-write"
+
+    def on_bind(self) -> None:
+        c = self.controller
+        assert c is not None
+        if c.fine.scope != "bank":
+            raise ValueError(
+                "PartitionParallelWritePolicy requires "
+                "write_engine_scope='bank' (got "
+                f"{c.fine.scope!r})"
+            )
+        self._m_parallel = c.telemetry.metrics.counter(
+            "palp.parallel_issues"
+        )
+
+    def select_write(self, ctx: WriteContext) -> bool:
+        c = self.controller
+        assert c is not None
+        if c.fine.inflight > 0:
+            # Another write is still in service: only the bank-scoped
+            # token makes this issue possible, so count it.
+            self._m_parallel.inc()
+        return super().select_write(ctx)

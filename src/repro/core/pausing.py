@@ -1,4 +1,4 @@
-"""Write-pausing controller — the prior-art comparator (paper §VII).
+"""Write pausing — the prior-art comparator (paper §VII).
 
 Qureshi et al. (HPCA 2010, the paper's [11]) attack the same problem —
 reads stuck behind long PCM writes — by letting reads *preempt* an
@@ -13,6 +13,13 @@ writes are not urgent (no active drain), the write yields the rank for
 roughly two read services and then resumes with a small overhead.  Under
 drain pressure it degenerates to the baseline policy, as in the original
 scheme's write-queue threshold.
+
+The mechanism is a :class:`~repro.memory.policy.SchedulerPolicy`:
+``pre_select`` owns the paused/active gating (it must run before a head
+candidate is even picked) and ``select_write`` issues the segmented
+coarse write.  Its chain discipline flags are both False — the whole
+point of pausing is issuing and resuming writes *under* pending reads,
+and it never flags queued reads as drain-delayed.
 """
 
 from __future__ import annotations
@@ -23,6 +30,11 @@ from typing import Optional
 from repro.memory.address import DecodedAddress
 from repro.memory.bus import BusDirection
 from repro.memory.controller import MemoryController
+from repro.memory.policy import (
+    BaseSchedulerPolicy,
+    PolicyChain,
+    WriteContext,
+)
 from repro.memory.request import MemoryRequest, ServiceClass
 from repro.telemetry import EventType, TraceEvent
 
@@ -38,8 +50,12 @@ class _PausedWrite:
     deadline: int  #: tick by which the write resumes even under reads
 
 
-class WritePausingController(MemoryController):
-    """Baseline + write pausing (no PCMap mechanisms)."""
+class WritePausingPolicy(BaseSchedulerPolicy):
+    """Baseline coarse writes + read-preempts-write (no PCMap mechanisms)."""
+
+    name = "write-pausing"
+    reads_block_writes = False
+    mark_reads_delayed_in_drain = False
 
     #: Array-time slice between pause opportunities (1/4 write latency,
     #: mirroring the iteration granularity of the original scheme).
@@ -49,85 +65,90 @@ class WritePausingController(MemoryController):
     #: Maximum pauses per write (starvation bound).
     MAX_PAUSES = 4
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
+    def __init__(self) -> None:
+        super().__init__()
         self._paused: Optional[_PausedWrite] = None
         self._write_active = False
         self.pauses_taken = 0
-        self._m_write_pauses = self.telemetry.metrics.counter("write.pauses")
+
+    def on_bind(self) -> None:
+        c = self.controller
+        assert c is not None
+        self._m_write_pauses = c.telemetry.metrics.counter("write.pauses")
 
     # ------------------------------------------------------------------
     @property
     def _quantum_ticks(self) -> int:
+        c = self.controller
+        assert c is not None
         return max(
             1,
-            int(self.timing.array_write_ticks * self.PAUSE_QUANTUM_FRACTION),
+            int(c.timing.array_write_ticks * self.PAUSE_QUANTUM_FRACTION),
         )
 
     # ------------------------------------------------------------------
-    def _schedule_once(self) -> bool:
-        """Reads first unless writes are urgent; paused writes resume
-        when the read queue drains.
+    # The write step
+    # ------------------------------------------------------------------
+    def pre_select(self, now: int) -> Optional[bool]:
+        """Resume/park paused writes and gate on the active one.
 
         As in the original scheme, preemption is disallowed while the
         write queue is above its high watermark — otherwise incessant
         reads would starve the writes and back-pressure the cores.
         """
-        self._update_drain()
-        now = self.engine.now
-        writes_urgent = self.drain
-        if (
-            not writes_urgent
-            and not self.read_q.empty
-            and self._try_issue_read(now)
-        ):
-            return True
+        c = self.controller
+        assert c is not None
         if self._paused is not None:
             expired = now >= self._paused.deadline
-            if not writes_urgent and not expired and not self.read_q.empty:
+            if not c.drain and not expired and not c.read_q.empty:
                 # Reads exist; give them the rank until the pause budget
                 # runs out (a pause covers the preempting reads, it is
                 # not an open-ended yield).
-                self._note_wake(self._paused.deadline)
+                c._note_wake(self._paused.deadline)
                 return False
             return self._resume_paused(now)
-        if not self.write_q.empty and not self._write_active:
-            if self._try_issue_write(now):
-                return True
-        return False
+        if self._write_active:
+            return False  # one segmented write in service at a time
+        return None
+
+    def select_write(self, ctx: WriteContext) -> bool:
+        self._issue_segmented(ctx.head, ctx.decoded, ctx.now)
+        return True
 
     # ------------------------------------------------------------------
     # Segmented coarse write
     # ------------------------------------------------------------------
-    def _issue_coarse_write(
+    def _issue_segmented(
         self, req: MemoryRequest, decoded: DecodedAddress, now: int
     ) -> None:
-        rank = self.ranks[decoded.rank]
-        chips = self._coarse_write_chips(decoded)
+        c = self.controller
+        assert c is not None
+        rank = c.ranks[decoded.rank]
+        chips = c._coarse_write_chips(decoded)
         start = max(now, rank.write_ready_time(chips, decoded.bank))
-        _bus_start, bus_end = self.bus.reserve(BusDirection.WRITE, start)
+        _bus_start, bus_end = c.bus.reserve(BusDirection.WRITE, start)
         array_start = bus_end
 
         if req.dirty_count == 0:
             req.service_class = ServiceClass.SILENT
-            end = array_start + self.timing.array_read_ticks
-            self._open_window(array_start, end)
+            end = array_start + c.timing.array_read_ticks
+            c._open_window(array_start, end)
             rank.reserve_write(chips, decoded.bank, end, decoded.row, start=array_start)
-            self._finish_write(req, start, end, decoded)
+            c._finish_write(req, start, end, decoded)
             return
 
-        total = max(self._word_write_ticks(req, w) for w in req.dirty_words)
-        self._open_window(array_start, array_start + total)
+        total = max(c._word_write_ticks(req, w) for w in req.dirty_words)
+        c._open_window(array_start, array_start + total)
         for word in req.dirty_words:
-            chip = self.layout.data_chip(decoded.line_address, word)
-            self._record_activity((chip,), array_start, array_start + total)
-            self.stats.record_chip_write(chip)
-        if self.geometry.has_ecc_chip:
-            self.stats.record_chip_write(self.geometry.ecc_chip_index)
+            chip = c.layout.data_chip(decoded.line_address, word)
+            c._record_activity((chip,), array_start, array_start + total)
+            c.stats.record_chip_write(chip)
+        if c.geometry.has_ecc_chip:
+            c.stats.record_chip_write(c.geometry.ecc_chip_index)
 
         req.start_service = start
-        if self.storage is not None and req.new_words is not None:
-            self.storage.write_line(
+        if c.storage is not None and req.new_words is not None:
+            c.storage.write_line(
                 decoded.line_address, req.new_words, req.dirty_mask
             )
         self._write_active = True
@@ -141,8 +162,10 @@ class WritePausingController(MemoryController):
         remaining: int,
         pauses_used: int,
     ) -> None:
-        rank = self.ranks[decoded.rank]
-        chips = self._coarse_write_chips(decoded)
+        c = self.controller
+        assert c is not None
+        rank = c.ranks[decoded.rank]
+        chips = c._coarse_write_chips(decoded)
         quantum = min(self._quantum_ticks, remaining)
         end = seg_start + quantum
         rank.log_label = f"Wr-{req.req_id}"
@@ -152,56 +175,58 @@ class WritePausingController(MemoryController):
             left = remaining - quantum
             if left <= 0:
                 self._write_active = False
-                self._complete_write(req)
+                c._complete_write(req)
                 return
             if (
-                not self.read_q.empty
+                not c.read_q.empty
                 and pauses_used < self.MAX_PAUSES
-                and not self.drain
+                and not c.drain
             ):
                 # Yield the rank for roughly two read services.
                 pause_budget = 2 * (
-                    self.timing.array_read_ticks + self.timing.read_io_ticks
+                    c.timing.array_read_ticks + c.timing.read_io_ticks
                 )
                 self._paused = _PausedWrite(
                     req, decoded, left, pauses_used + 1, end + pause_budget
                 )
                 self.pauses_taken += 1
                 self._m_write_pauses.inc()
-                if self.tracer.enabled:
-                    self.tracer.emit(TraceEvent(
+                if c.tracer.enabled:
+                    c.tracer.emit(TraceEvent(
                         EventType.WRITE_PAUSE,
-                        tick=self.engine.now,
-                        channel=self.channel_id,
+                        tick=c.engine.now,
+                        channel=c.channel_id,
                         rank=decoded.rank,
                         req_id=req.req_id,
                         end=end + pause_budget,
                         extra={"remaining_ticks": left,
                                "pauses_used": pauses_used + 1},
                     ))
-                self.engine.schedule_at(end + pause_budget, self._kick)
-                self._kick()
+                c.engine.schedule_at(end + pause_budget, c._kick)
+                c._kick()
                 return
             self._run_segment(req, decoded, end, left, pauses_used)
 
-        self.engine.schedule_at(end, at_boundary)
+        c.engine.schedule_at(end, at_boundary)
 
     def _resume_paused(self, now: int) -> bool:
+        c = self.controller
+        assert c is not None
         paused = self._paused
         assert paused is not None
-        rank = self.ranks[paused.decoded.rank]
-        chips = self._coarse_write_chips(paused.decoded)
+        rank = c.ranks[paused.decoded.rank]
+        chips = c._coarse_write_chips(paused.decoded)
         ready = rank.write_ready_time(chips, paused.decoded.bank)
         if ready > now:
-            self._note_wake(ready)
+            c._note_wake(ready)
             return False
         self._paused = None
-        resume_at = now + self.timing.cycles(self.RESUME_OVERHEAD_CYCLES)
-        if self.tracer.enabled:
-            self.tracer.emit(TraceEvent(
+        resume_at = now + c.timing.cycles(self.RESUME_OVERHEAD_CYCLES)
+        if c.tracer.enabled:
+            c.tracer.emit(TraceEvent(
                 EventType.WRITE_RESUME,
                 tick=now,
-                channel=self.channel_id,
+                channel=c.channel_id,
                 rank=paused.decoded.rank,
                 req_id=paused.request.req_id,
                 start=resume_at,
@@ -215,3 +240,34 @@ class WritePausingController(MemoryController):
             paused.pauses_used,
         )
         return True
+
+
+class WritePausingController(MemoryController):
+    """Thin shell kept for construction routing and test introspection.
+
+    All behaviour lives in :class:`WritePausingPolicy`; this class only
+    validates the config routes a pausing chain and re-exports the
+    policy's knobs/counters under their historical names.
+    """
+
+    PAUSE_QUANTUM_FRACTION = WritePausingPolicy.PAUSE_QUANTUM_FRACTION
+    RESUME_OVERHEAD_CYCLES = WritePausingPolicy.RESUME_OVERHEAD_CYCLES
+    MAX_PAUSES = WritePausingPolicy.MAX_PAUSES
+
+    def _build_policy_chain(self) -> PolicyChain:
+        chain = super()._build_policy_chain()
+        if chain.find(WritePausingPolicy) is None:
+            raise ValueError(
+                "WritePausingController requires enable_write_pausing"
+            )
+        return chain
+
+    @property
+    def pausing(self) -> WritePausingPolicy:
+        policy = self.policies.find(WritePausingPolicy)
+        assert isinstance(policy, WritePausingPolicy)
+        return policy
+
+    @property
+    def pauses_taken(self) -> int:
+        return self.pausing.pauses_taken

@@ -12,13 +12,26 @@ All PCMap variants use the 10-chip geometry (8 data + ECC + PCC) because
 RoW's reconstruction requires the PCC chip; ``wow-nr`` keeps the PCC chip
 too so the five PCMap variants differ only in policy, matching the paper's
 controlled comparison.
+
+Two prior-art comparators ride along (``COMPARATOR_SYSTEM_NAMES``):
+``write-pausing`` (Qureshi et al., the paper's [11]) and ``palp-lite``
+(partition-parallel write issue after Song et al.).
+
+Every system — paper variants and comparators alike — instantiates
+through the same scheduler-policy chain: :func:`build_policies` maps a
+config's feature flags to an ordered list of
+:class:`~repro.memory.policy.SchedulerPolicy` objects, which is the
+§IV-D2 dispatch order expressed as data instead of an if/elif ladder.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import TYPE_CHECKING, Callable, Dict, List
 
 from repro.core.config import SystemConfig, pcmap_config
+
+if TYPE_CHECKING:
+    from repro.memory.policy import SchedulerPolicy
 
 SYSTEM_NAMES: List[str] = [
     "baseline",
@@ -32,6 +45,9 @@ SYSTEM_NAMES: List[str] = [
 #: The five systems the figures compare against the baseline.
 PCMAP_SYSTEM_NAMES: List[str] = SYSTEM_NAMES[1:]
 
+#: Prior-art comparator systems (not part of the paper's six).
+COMPARATOR_SYSTEM_NAMES: List[str] = ["write-pausing", "palp-lite"]
+
 
 def make_baseline(**overrides) -> SystemConfig:
     overrides.setdefault("name", "baseline")
@@ -42,6 +58,13 @@ def make_write_pausing(**overrides) -> SystemConfig:
     """Prior-art comparator: baseline + read-preempts-write (paper [11])."""
     overrides.setdefault("name", "write-pausing")
     return SystemConfig(enable_write_pausing=True, **overrides)
+
+
+def make_palp_lite(**overrides) -> SystemConfig:
+    """PALP-style comparator: bank-parallel fine writes, no RoW/WoW."""
+    overrides.setdefault("name", "palp-lite")
+    overrides.setdefault("write_engine_scope", "bank")
+    return pcmap_config(**overrides)
 
 
 def make_row_nr(**overrides) -> SystemConfig:
@@ -80,6 +103,7 @@ def make_rwow_rde(**overrides) -> SystemConfig:
 _FACTORIES: Dict[str, Callable[..., SystemConfig]] = {
     "baseline": make_baseline,
     "write-pausing": make_write_pausing,
+    "palp-lite": make_palp_lite,
     "row-nr": make_row_nr,
     "wow-nr": make_wow_nr,
     "rwow-nr": make_rwow_nr,
@@ -106,3 +130,45 @@ def make_system(name: str, **overrides) -> SystemConfig:
 def all_systems(**overrides) -> List[SystemConfig]:
     """All six systems with shared overrides applied."""
     return [make_system(name, **overrides) for name in SYSTEM_NAMES]
+
+
+# ======================================================================
+# Policy-chain composition
+# ======================================================================
+def build_policies(config: SystemConfig) -> List["SchedulerPolicy"]:
+    """Map ``config``'s feature flags to an ordered scheduler-policy chain.
+
+    The order *is* the §IV-D2 dispatch: silent write-backs first, then a
+    RoW attempt (which declines loudly), then WoW grouping — which always
+    claims the step, so a trailing plain-fine policy exists only when WoW
+    is off.  Comparators replace the whole stack: pausing is a single
+    coarse policy, ``palp-lite`` swaps the fine fallback for its
+    bank-parallel variant.
+    """
+    if config.enable_write_pausing:
+        from repro.core.pausing import WritePausingPolicy
+
+        return [WritePausingPolicy()]
+    if not config.fine_grained_writes:
+        from repro.memory.policy import CoarseWritePolicy
+
+        return [CoarseWritePolicy()]
+
+    from repro.core.fine import FineWritePolicy, SilentWritePolicy
+
+    policies: List["SchedulerPolicy"] = [SilentWritePolicy()]
+    if config.enable_row:
+        from repro.core.row import ReadOverWritePolicy
+
+        policies.append(ReadOverWritePolicy())
+    if config.enable_wow:
+        from repro.core.wow import WriteOverWritePolicy
+
+        policies.append(WriteOverWritePolicy())
+    elif config.write_engine_scope == "bank":
+        from repro.core.palp import PartitionParallelWritePolicy
+
+        policies.append(PartitionParallelWritePolicy())
+    else:
+        policies.append(FineWritePolicy())
+    return policies

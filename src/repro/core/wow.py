@@ -1,0 +1,149 @@
+"""WoW — write-over-write consolidation policy (paper §IV-C).
+
+:class:`WriteOverWritePolicy` packs the head write together with younger
+writes whose (rotated) dirty chip sets are pairwise disjoint and idle,
+so one write-engine service slot moves several lines at once.  Admission
+is a **two-pass greedy**: the first pass requires the candidates' ECC/PCC
+chips to be disjoint too (their whole service parallelises — what
+rotation makes possible); the second pass admits members whose data chips
+are free but whose code updates collide and serialise within the window
+(Figure 5(d), the no-rotation behaviour).
+
+The policy always claims the step (a one-member "group" is just the plain
+fine write), matching §IV-D2 where WoW is the unconditional fallback of
+a declined RoW attempt.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.memory.address import DecodedAddress
+from repro.memory.policy import BaseSchedulerPolicy, WriteContext
+from repro.memory.request import MemoryRequest, ServiceClass
+from repro.telemetry import EventType, TraceEvent
+
+
+class WriteOverWritePolicy(BaseSchedulerPolicy):
+    """Consolidate chip-disjoint writes into one service window."""
+
+    name = "wow-group"
+
+    def on_bind(self) -> None:
+        c = self.controller
+        assert c is not None
+        metrics = c.telemetry.metrics
+        self._m_groups = metrics.counter("wow.groups")
+        self._m_members = metrics.counter("wow.member_writes")
+
+    def select_write(self, ctx: WriteContext) -> bool:
+        c = self.controller
+        assert c is not None
+        group_service_end = self._issue_group(ctx.head, ctx.decoded, ctx.now)
+        # The write engine is held through the serialised ECC/PCC updates
+        # of the whole group (Figure 5(d)): without rotation this is what
+        # limits WoW's bandwidth gain.
+        c.fine.hold(ctx.decoded, group_service_end)
+        return True
+
+    def _issue_group(
+        self, head: MemoryRequest, decoded_head: DecodedAddress, now: int
+    ) -> int:
+        """Consolidate chip-disjoint writes; returns the group's data end.
+
+        Members may target any bank of the seed's rank — §IV-D2's policy
+        selects "one or more write requests that can be parallelized with
+        [the] on-going write", constrained only by pairwise-disjoint
+        (rotated) dirty-chip sets that are idle now.
+        """
+        c = self.controller
+        assert c is not None and self.chain is not None
+        rank = c.ranks[decoded_head.rank]
+
+        def chip_sets(
+            req: MemoryRequest, decoded: DecodedAddress
+        ) -> Tuple[Set[int], Set[int]]:
+            line = decoded.line_address
+            data = set(c.layout.dirty_chips(line, req.dirty_mask))
+            code = {c.layout.ecc_chip(line)}
+            pcc = c.layout.pcc_chip(line)
+            if pcc is not None:
+                code.add(pcc)
+            return data, code
+
+        head_data, head_code = chip_sets(head, decoded_head)
+        members: List[Tuple[MemoryRequest, DecodedAddress]] = [
+            (head, decoded_head)
+        ]
+        occupied_all = head_data | head_code
+        budget = c.config.max_inflight_writes - c.fine.inflight
+        limit = min(c.config.wow_max_group, budget)
+
+        for require_code_disjoint in (True, False):
+            for req in c.write_q.entries():
+                if len(members) >= limit:
+                    break
+                if (
+                    req is head
+                    or req.dirty_count == 0
+                    or req.start_service >= 0
+                    or any(req is member for member, _d in members)
+                ):
+                    continue
+                decoded = c.mapper.decode(req.address)
+                if decoded.rank != decoded_head.rank:
+                    continue
+                data, code = chip_sets(req, decoded)
+                if occupied_all.intersection(data):
+                    continue
+                if require_code_disjoint and occupied_all.intersection(code):
+                    continue
+                if rank.write_ready_time(data, decoded.bank) > now:
+                    continue
+                members.append((req, decoded))
+                occupied_all.update(data | code)
+
+        window = c._open_window(-1, -1)
+        self.chain.on_window_open(window, decoded_head.rank)
+        grouped = len(members) > 1
+        if grouped and c.tracer.enabled:
+            c.tracer.emit(TraceEvent(
+                EventType.WOW_OPEN,
+                tick=now,
+                channel=c.channel_id,
+                rank=decoded_head.rank,
+                req_id=head.req_id,
+                extra={"group_size": len(members)},
+            ))
+            for req, _decoded in members[1:]:
+                c.tracer.emit(TraceEvent(
+                    EventType.WOW_JOIN,
+                    tick=now,
+                    channel=c.channel_id,
+                    rank=decoded_head.rank,
+                    req_id=req.req_id,
+                ))
+        group_service_end = now
+        for req, decoded in members:
+            if grouped:
+                req.service_class = ServiceClass.WOW_MEMBER
+            _start, _data_end, service_end = c.fine.issue_fine_write(
+                req, decoded, now, window=window
+            )
+            group_service_end = max(group_service_end, service_end)
+        if grouped:
+            c.stats.wow_groups += 1
+            c.stats.wow_member_writes += len(members)
+            self._m_groups.inc()
+            self._m_members.inc(len(members))
+            if c.tracer.enabled:
+                c.tracer.emit(TraceEvent(
+                    EventType.WOW_CLOSE,
+                    tick=now,
+                    channel=c.channel_id,
+                    rank=decoded_head.rank,
+                    req_id=head.req_id,
+                    end=group_service_end,
+                    extra={"group_size": len(members)},
+                ))
+        return group_service_end

@@ -9,6 +9,14 @@ from repro.memory.address import (
 )
 from repro.memory.controller import MemoryController
 from repro.memory.memsys import MainMemory, make_controller
+from repro.memory.policy import (
+    BaseSchedulerPolicy,
+    CoarseWritePolicy,
+    PolicyChain,
+    ReadAdmission,
+    SchedulerPolicy,
+    WriteContext,
+)
 from repro.memory.request import (
     LINE_BYTES,
     MemoryRequest,
@@ -32,6 +40,12 @@ __all__ = [
     "MemoryController",
     "MainMemory",
     "make_controller",
+    "BaseSchedulerPolicy",
+    "CoarseWritePolicy",
+    "PolicyChain",
+    "ReadAdmission",
+    "SchedulerPolicy",
+    "WriteContext",
     "LINE_BYTES",
     "MemoryRequest",
     "RequestKind",

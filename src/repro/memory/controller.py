@@ -11,16 +11,18 @@ the rank resource state, and the shared data bus.  Scheduling policy:
 * **Opportunistic writes** — when the read queue is empty, queued writes
   are issued even below the watermark.
 
-Writes are *coarse*: the whole rank (all data chips + ECC) is reserved for
-the write's duration, even though differential writes mean only the dirty
-chips do array work — this is exactly the idleness PCMap attacks, and the
-IRLP recorder measures it.
+The *write-issue decision* is delegated to an ordered
+:class:`repro.memory.policy.PolicyChain`: the controller picks the head
+candidate (its queue discipline) and the chain's policies decide how to
+service it.  The baseline chain is a single
+:class:`~repro.memory.policy.CoarseWritePolicy` — whole-rank writes whose
+chip idleness is exactly what PCMap attacks and the IRLP recorder
+measures.  :class:`repro.core.controller.PCMapController` swaps in the
+fine-grained RoW/WoW policy stack instead of forking the issue path.
 
 The controller is event-driven: ``_kick`` runs whenever a request arrives
 or a resource frees, issues everything that can start *now*, and arms a
 wake-up at the earliest future time anything could start.
-:class:`repro.core.controller.PCMapController` subclasses this and
-replaces only the write-issue path.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.memory.address import AddressMapper, DecodedAddress
 from repro.memory.bus import BusDirection, ChannelBus
+from repro.memory.policy import PolicyChain, WriteContext
 from repro.memory.queues import RequestQueue, WriteQueue
 from repro.memory.rank import RankState
 from repro.memory.request import (
@@ -128,6 +131,19 @@ class MemoryController:
                      2000, 4000, 8000, 16000),
         )
 
+        #: Ordered scheduling-policy stack driving the write-issue path.
+        #: Built last so policies bind against a fully constructed
+        #: controller (subclasses hook ``_build_policy_chain`` to install
+        #: their engines/resources first).
+        self.policies: PolicyChain = self._build_policy_chain()
+
+    def _build_policy_chain(self) -> PolicyChain:
+        """Compose the policy chain for this controller's config."""
+        # Runtime import: repro.core.systems builds on repro.memory.
+        from repro.core.systems import build_policies
+
+        return PolicyChain(self, build_policies(self.config))
+
     # ==================================================================
     # External interface
     # ==================================================================
@@ -163,6 +179,10 @@ class MemoryController:
             self.stats.record_write(request.dirty_count)
             self.write_q.push(request)
         self._kick()
+        if request.is_read and request.completion < 0:
+            # Still queued after the kick: let policies react — e.g. an
+            # open RoW window absorbs reads arriving mid-window.
+            self.policies.on_read_enqueued(request)
 
     @property
     def idle(self) -> bool:
@@ -186,20 +206,30 @@ class MemoryController:
             self._in_kick = False
 
     def _schedule_once(self) -> bool:
-        """Issue at most one service; returns True when progress was made."""
+        """Issue at most one service; returns True when progress was made.
+
+        Read issue stays built in (FR-FCFS is common to every system);
+        the write step is one pass through the policy chain.
+        """
         self._update_drain()
         now = self.engine.now
         if self.drain:
             # Drain mode: writes only; reads wait (the baseline policy the
-            # paper's Figure 1 quantifies).
-            if not self.read_q.empty:
+            # paper's Figure 1 quantifies).  Pausing opts out of the
+            # delayed-read flagging via its chain discipline flag.
+            if self.policies.mark_reads_delayed_in_drain and not self.read_q.empty:
                 for read in self.read_q:
                     read.delayed_by_write = True
-            return self._try_issue_write(now)
+            return self.policies.select_write(now)
         if not self.read_q.empty:
-            return self._try_issue_read(now)
+            if self._try_issue_read(now):
+                return True
+            if self.policies.reads_block_writes:
+                # Read-priority discipline: a queued-but-unready read
+                # holds the channel; only pausing-style chains proceed.
+                return False
         if not self.write_q.empty:
-            return self._try_issue_write(now)
+            return self.policies.select_write(now)
         return False
 
     def _update_drain(self) -> None:
@@ -370,21 +400,27 @@ class MemoryController:
     # ==================================================================
     # Write path (baseline: coarse, whole-rank writes, oldest first)
     # ==================================================================
-    def _try_issue_write(self, now: int) -> bool:
+    def select_write_candidate(self, now: int) -> Optional[WriteContext]:
+        """Head write the policy chain deliberates over this step.
+
+        Baseline queue discipline: strict FIFO over not-yet-issued writes,
+        gated on the coarse chip set being ready now (otherwise a wake-up
+        is armed and the step yields).  ``PCMapController`` overrides this
+        with oldest-*ready*-first selection over fine-grained chip sets.
+        """
         head = next(
             (req for req in self.write_q if req.start_service < 0), None
         )
         if head is None:
-            return False
+            return None
         decoded = self.mapper.decode(head.address)
         rank = self.ranks[decoded.rank]
         chips = self._coarse_write_chips(decoded)
         ready = rank.write_ready_time(chips, decoded.bank)
         if ready > now:
             self._note_wake(ready)
-            return False
-        self._issue_coarse_write(head, decoded, now)
-        return True
+            return None
+        return WriteContext(now, head, decoded)
 
     def _coarse_write_chips(self, decoded: DecodedAddress) -> Tuple[int, ...]:
         """All chips a baseline write reserves (every data chip + ECC)."""

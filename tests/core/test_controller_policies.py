@@ -1,10 +1,17 @@
 """Targeted tests for the PCMap scheduler's policy details."""
 
 
+from repro.core.row import ReadOverWritePolicy
 from repro.memory.request import ServiceClass, make_read, make_write
 from repro.memory.timing import DEFAULT_TIMING
 
 from tests.conftest import harness
+
+
+def row_policy(controller) -> ReadOverWritePolicy:
+    policy = controller.policies.find(ReadOverWritePolicy)
+    assert policy is not None, "RoW-enabled system must chain the RoW policy"
+    return policy
 
 
 # ----------------------------------------------------------------------
@@ -18,7 +25,9 @@ def test_row_window_useful_true_for_reconstructable_read():
     read = make_read(2, 100 * 64 * 4)
     controller.read_q.push(read)
     decoded = controller.mapper.decode(write.address)
-    assert controller._row_window_useful(write, decoded, controller.engine.now)
+    assert row_policy(controller).window_useful(
+        write, decoded, controller.engine.now
+    )
 
 
 def test_row_window_useless_when_pcc_busy():
@@ -34,7 +43,7 @@ def test_row_window_useless_when_pcc_busy():
     controller.read_q.push(read)
     decoded = controller.mapper.decode(write.address)
     # Data chip 0 (write) + chip 9 (busy) -> no read can join.
-    assert not controller._row_window_useful(
+    assert not row_policy(controller).window_useful(
         write, decoded, controller.engine.now
     )
 

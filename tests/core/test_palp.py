@@ -1,0 +1,129 @@
+"""Unit tests for the palp-lite comparator (bank-scoped write engine)."""
+
+import pytest
+
+from repro.core.palp import PartitionParallelWritePolicy
+from repro.core.systems import make_system
+
+from tests.conftest import harness
+
+# The default 8 KB rows hold 128 lines, so line index b * 128 lands in
+# bank b of rank 0 (see AddressMapper's channel|column|bank|rank|row
+# interleave).
+LINES_PER_ROW = 128
+
+
+def parallel_issues(h) -> int:
+    return h.controller.telemetry.metrics.counter("palp.parallel_issues").value
+
+
+# ----------------------------------------------------------------------
+# Configuration surface
+# ----------------------------------------------------------------------
+def test_palp_lite_config_shape():
+    config = make_system("palp-lite")
+    assert config.fine_grained_writes
+    assert config.write_engine_scope == "bank"
+    assert not config.enable_row
+    assert not config.enable_wow
+    assert "partition-parallel writes (prior art)" in config.describe()
+
+
+def test_bank_scope_requires_fine_writes():
+    with pytest.raises(ValueError):
+        make_system("baseline", write_engine_scope="bank")
+
+
+def test_bank_scope_rejects_row_and_wow():
+    with pytest.raises(ValueError):
+        make_system("palp-lite", enable_row=True)
+    with pytest.raises(ValueError):
+        make_system("palp-lite", enable_wow=True)
+
+
+def test_invalid_scope_rejected():
+    with pytest.raises(ValueError):
+        make_system("palp-lite", write_engine_scope="chip")
+
+
+def test_palp_policy_refuses_rank_scoped_engine():
+    # The policy guards against being chained onto a rank-scoped engine.
+    rank_scoped = harness("palp-lite", write_engine_scope="rank").controller
+    assert rank_scoped.fine.scope == "rank"
+    with pytest.raises(ValueError):
+        PartitionParallelWritePolicy().bind(
+            rank_scoped, rank_scoped.policies
+        )
+
+
+def test_palp_chain_composition():
+    h = harness("palp-lite")
+    assert h.controller.policies.describe() == (
+        "silent-write -> palp-partition-write"
+    )
+
+
+# ----------------------------------------------------------------------
+# Bank-parallel write issue
+# ----------------------------------------------------------------------
+# Bank parallelism needs chip-disjoint dirty words: a chip's write
+# circuitry is exclusive across its banks, so only writes touching
+# different chips (fixed layout: word w -> chip w) can overlap.
+def test_writes_to_distinct_banks_overlap():
+    palp = harness("palp-lite")
+    a = palp.write(0 * LINES_PER_ROW, 0x0F)  # bank 0, chips 0-3
+    b = palp.write(1 * LINES_PER_ROW, 0xF0)  # bank 1, chips 4-7
+    palp.run()
+
+    serial = harness("palp-lite", write_engine_scope="rank")
+    sa = serial.write(0 * LINES_PER_ROW, 0x0F)
+    sb = serial.write(1 * LINES_PER_ROW, 0xF0)
+    serial.run()
+
+    assert a.completion == sa.completion  # first write is unaffected
+    assert b.completion < sb.completion   # second rode the idle bank
+    assert parallel_issues(palp) >= 1
+    assert parallel_issues(serial) == 0
+
+
+def test_writes_to_same_bank_serialise():
+    """Chip-disjoint writes still serialise within one bank: the token
+    scope is the partition, and these share bank 0."""
+    h = harness("palp-lite")
+    h.write(0, 0x0F)   # bank 0, column 0
+    h.write(1, 0xF0)   # bank 0, column 1
+    h.run()
+    assert parallel_issues(h) == 0
+    assert h.all_done()
+
+
+def test_chip_conflicts_serialise_across_banks():
+    """Same dirty chips in different banks: the shared write circuitry
+    (not the token) serialises them — bank scope buys nothing here."""
+    h = harness("palp-lite")
+    h.write(0 * LINES_PER_ROW, 0xFF)
+    h.write(1 * LINES_PER_ROW, 0xFF)
+    h.run()
+    assert parallel_issues(h) == 0
+    assert h.all_done()
+
+
+def test_silent_writes_skip_the_engine_token():
+    """Zero-dirty writes never contend for the per-bank token."""
+    h = harness("palp-lite")
+    h.write(0 * LINES_PER_ROW, 0x0F)
+    h.write(1 * LINES_PER_ROW, 0x00)  # silent
+    h.write(2 * LINES_PER_ROW, 0xF0)
+    h.run()
+    assert h.all_done()
+    assert parallel_issues(h) >= 1
+
+
+def test_many_bank_spread_writes_all_complete():
+    h = harness("palp-lite")
+    for b in range(8):
+        h.write(b * LINES_PER_ROW, 1 << (b % 8))
+        h.write(b * LINES_PER_ROW + 1, 1 << ((b + 4) % 8))
+    h.run()
+    assert h.all_done()
+    assert parallel_issues(h) >= 1

@@ -3,11 +3,14 @@
 import pytest
 
 from repro.core.systems import (
+    COMPARATOR_SYSTEM_NAMES,
     PCMAP_SYSTEM_NAMES,
     SYSTEM_NAMES,
     all_systems,
     make_system,
 )
+from repro.memory.memsys import make_controller
+from repro.sim.engine import Engine
 
 
 def test_six_systems_defined():
@@ -69,3 +72,25 @@ def test_name_override_via_factory():
 
     config = make_rwow_rde(name="pcmap-full")
     assert config.name == "pcmap-full"
+
+
+def test_comparator_systems_defined():
+    assert COMPARATOR_SYSTEM_NAMES == ["write-pausing", "palp-lite"]
+
+
+EXPECTED_CHAINS = {
+    "baseline": "coarse-drain",
+    "row-nr": "silent-write -> row-window -> fine-write",
+    "wow-nr": "silent-write -> wow-group",
+    "rwow-nr": "silent-write -> row-window -> wow-group",
+    "rwow-rd": "silent-write -> row-window -> wow-group",
+    "rwow-rde": "silent-write -> row-window -> wow-group",
+    "write-pausing": "write-pausing",
+    "palp-lite": "silent-write -> palp-partition-write",
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_CHAINS))
+def test_every_system_instantiates_through_the_policy_chain(name):
+    controller = make_controller(Engine(), make_system(name))
+    assert controller.policies.describe() == EXPECTED_CHAINS[name]

@@ -1,0 +1,101 @@
+"""Pre/post-refactor regression harness: a golden JSONL scheduler trace.
+
+A short seeded ``rwow-rde`` run is traced and every scheduler-visible
+event (RoW/WoW decisions, request issue/completion, drain transitions,
+rollbacks) is serialised — one canonical JSON object per line — and
+compared **byte-identically** against a checked-in golden file.
+
+Unlike the sweep-runner tests, this harness calls
+:func:`repro.sim.simulator.simulate` directly: no result cache, no
+worker processes, no ``code_version()`` key — so it cannot be masked by
+a warm ``sweep_cache`` and fails loudly on any behavioural change to the
+scheduling layer, however the run is executed.
+
+Regenerate only after confirming a diff is an *intended* policy change::
+
+    PYTHONPATH=src python -c "
+    from tests.integration.test_golden_trace import regenerate_golden
+    regenerate_golden()"
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.systems import make_system
+from repro.sim.simulator import SimulationParams, simulate
+from repro.telemetry import EventType, ListSink, Telemetry
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_rwow_rde_trace.jsonl"
+
+#: Everything the scheduling layer decides, in emission order.  Chip-level
+#: occupancy events are excluded (huge, and already covered by the rank
+#: reservation tests); the request/issue stream pins down ordering anyway.
+TRACED_TYPES = {
+    EventType.REQUEST_ENQUEUE,
+    EventType.REQUEST_ISSUE,
+    EventType.REQUEST_COMPLETE,
+    EventType.ROW_ATTEMPT,
+    EventType.ROW_SERVE,
+    EventType.ROW_DECLINE,
+    EventType.WOW_OPEN,
+    EventType.WOW_JOIN,
+    EventType.WOW_CLOSE,
+    EventType.ROLLBACK,
+    EventType.DRAIN_ENTER,
+    EventType.DRAIN_EXIT,
+}
+
+_PARAMS = dict(target_requests=150, n_cores=8, seed=7)
+
+
+def _traced_jsonl_lines():
+    sink = ListSink()
+    telemetry = Telemetry.recording([sink])
+    simulate(
+        make_system("rwow-rde"),
+        "canneal",
+        SimulationParams(**_PARAMS),
+        telemetry,
+    )
+    return [
+        json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+        for event in sink.events
+        if event.type in TRACED_TYPES
+    ]
+
+
+def regenerate_golden() -> None:
+    """Refresh the golden file after an intended scheduler change."""
+    lines = _traced_jsonl_lines()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text("\n".join(lines) + "\n")
+    print(f"wrote {len(lines)} events to {GOLDEN_PATH}")
+
+
+def test_golden_trace_bytes_identical():
+    expected = GOLDEN_PATH.read_text()
+    actual = "\n".join(_traced_jsonl_lines()) + "\n"
+    assert actual == expected, (
+        "scheduler decision stream diverged from the golden JSONL trace; "
+        "diff the streams and regenerate only if the change is intended"
+    )
+
+
+def test_golden_trace_exercises_all_decision_paths():
+    """The checked-in run is only a useful regression anchor if it covers
+    RoW serves *and* declines, WoW grouping, drains and rollbacks."""
+    seen = {
+        json.loads(line)["type"] for line in GOLDEN_PATH.read_text().splitlines()
+    }
+    for required in (
+        "row.attempt",
+        "row.serve",
+        "row.decline",
+        "wow.open",
+        "wow.join",
+        "wow.close",
+        "drain.enter",
+        "request.issue",
+        "request.complete",
+    ):
+        assert required in seen, f"golden trace never exercises {required}"

@@ -15,6 +15,8 @@ def test_list_systems(capsys):
     assert main(["list-systems"]) == 0
     out = capsys.readouterr().out
     assert "rwow-rde" in out and "write-pausing" in out
+    assert "palp-lite" in out
+    assert "partition-parallel writes (prior art)" in out
 
 
 def test_run_command(capsys):
