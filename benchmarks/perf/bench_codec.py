@@ -1,0 +1,22 @@
+"""Hamming(72,64) codec microbenchmark.
+
+Times the table-driven ``encode``/``decode`` against the bit-loop
+reference implementations on the same random words; the ratio is the
+machine-independent codec speedup tracked in BENCH_perf.json.
+"""
+
+from repro.perf import bench_codec
+
+from benchmarks.common import write_report
+from benchmarks.perf.common import PERF_SEED, report_text
+
+
+def test_perf_codec(benchmark):
+    report = benchmark.pedantic(
+        lambda: bench_codec(PERF_SEED), rounds=1, iterations=1
+    )
+    write_report(
+        "perf_codec", report_text(report, "perf: Hamming(72,64) codec")
+    )
+    assert report.metrics["encode_vs_reference"] >= 1.2
+    assert report.metrics["decode_vs_reference"] >= 2.0

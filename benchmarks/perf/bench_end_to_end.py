@@ -1,0 +1,24 @@
+"""End-to-end hot-path benchmark: one full rwow-rde functional run.
+
+The events-per-second figure is the tracked end-to-end number; the
+``sim_ticks``/``events_dispatched`` fingerprints double as a behavioural
+check — they are deterministic for the fixed (seed, budget) and must not
+move under purely mechanical optimisation.
+"""
+
+from repro.perf import bench_end_to_end
+
+from benchmarks.common import write_report
+from benchmarks.perf.common import PERF_SEED, report_text
+
+
+def test_perf_end_to_end(benchmark):
+    report = benchmark.pedantic(
+        lambda: bench_end_to_end(PERF_SEED), rounds=1, iterations=1
+    )
+    write_report(
+        "perf_end_to_end",
+        report_text(report, "perf: end-to-end rwow-rde/canneal"),
+    )
+    assert report.metrics["events_dispatched"] > 0
+    assert report.metrics["events_per_second"] > 0

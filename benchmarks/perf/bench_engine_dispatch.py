@@ -1,0 +1,22 @@
+"""Event-engine dispatch microbenchmark.
+
+Times scheduling plus dispatching one event through the heap loop, on
+both the allocation-free ``call_at`` path (used by never-cancelled
+completions) and the cancellable ``schedule_at`` handle path.
+"""
+
+from repro.perf import bench_engine_dispatch
+
+from benchmarks.common import write_report
+from benchmarks.perf.common import PERF_SEED, report_text
+
+
+def test_perf_engine_dispatch(benchmark):
+    report = benchmark.pedantic(
+        lambda: bench_engine_dispatch(PERF_SEED), rounds=1, iterations=1
+    )
+    write_report(
+        "perf_engine_dispatch", report_text(report, "perf: engine dispatch")
+    )
+    for metric, value in report.metrics.items():
+        assert value > 0, metric

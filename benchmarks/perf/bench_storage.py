@@ -1,0 +1,21 @@
+"""Functional backing-store microbenchmark.
+
+Times cold-line materialisation (template caches cleared, so first-touch
+cost), differential ``write_line`` commits, and ``diff_mask`` scans.
+"""
+
+from repro.perf import bench_storage
+
+from benchmarks.common import write_report
+from benchmarks.perf.common import PERF_SEED, report_text
+
+
+def test_perf_storage(benchmark):
+    report = benchmark.pedantic(
+        lambda: bench_storage(PERF_SEED), rounds=1, iterations=1
+    )
+    write_report(
+        "perf_storage", report_text(report, "perf: functional backing store")
+    )
+    for metric, value in report.metrics.items():
+        assert value > 0, metric

@@ -1,0 +1,21 @@
+"""Shared bits for the perf benchmark wrappers."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.perf import BenchReport
+
+#: Suite-wide seed; matches the committed BENCH_perf.json.
+PERF_SEED = 7
+
+
+def report_text(report: BenchReport, title: str) -> str:
+    """One benchmark's metrics as the standard results table."""
+    rows = [
+        [metric, f"{value:,.3f}"]
+        for metric, value in sorted(report.metrics.items())
+    ]
+    config = ", ".join(f"{k}={v}" for k, v in sorted(report.config.items()))
+    return format_table(
+        ["metric", "value"], rows, title=f"{title} ({config})"
+    )

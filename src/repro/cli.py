@@ -12,6 +12,13 @@ Commands::
     python -m repro trace --workload canneal --system rwow-rde \\
         --out run.trace.json [--jsonl run.jsonl] [--buffer N]
     python -m repro stats --workload canneal --system rwow-rde [--json]
+    python -m repro perf [--seed N] [--smoke] [--json] [--out FILE] [--check]
+
+``perf`` runs the tracked hot-path microbenchmark suite (codec, storage,
+engine dispatch, one end-to-end run) and emits the seed- and git-stamped
+``BENCH_perf.json`` payload; ``--check`` exits non-zero on gross
+(machine-independent) regressions and ``REPRO_PERF_SMOKE=1`` (or
+``--smoke``) shrinks the budgets for CI.  See docs/PERFORMANCE.md.
 
 ``trace`` records the structured telemetry events of one run and exports
 them as a Chrome trace (open in ``chrome://tracing`` or Perfetto; chips
@@ -223,6 +230,32 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Run the hot-path microbenchmark suite; optionally gate regressions."""
+    from repro.perf import check_payload, format_payload, run_suite
+    from repro.sim.results_io import atomic_write_text
+
+    smoke = args.smoke or bool(os.environ.get("REPRO_PERF_SMOKE"))
+    payload = run_suite(seed=args.seed, smoke=smoke)
+    if args.json:
+        print(json.dumps(payload, indent=1))
+    else:
+        print(format_payload(payload))
+    if args.out:
+        atomic_write_text(args.out, json.dumps(payload, indent=1) + "\n")
+        if not args.json:
+            print(f"\nwrote {args.out}")
+    if args.check:
+        failures = check_payload(payload)
+        if failures:
+            for failure in failures:
+                print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        if not args.json:
+            print("perf check passed")
+    return 0
+
+
 def cmd_gen_trace(args: argparse.Namespace) -> int:
     generator = SyntheticTraceGenerator(
         get_workload(args.workload), seed=args.seed
@@ -307,6 +340,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the registry as JSON")
     add_common(stats_p)
     stats_p.set_defaults(func=cmd_stats)
+
+    perf_p = sub.add_parser(
+        "perf", help="run the tracked hot-path microbenchmark suite"
+    )
+    perf_p.add_argument("--seed", type=int, default=7)
+    perf_p.add_argument("--smoke", action="store_true",
+                        help="small budgets for CI (also: REPRO_PERF_SMOKE=1)")
+    perf_p.add_argument("--json", action="store_true",
+                        help="emit the BENCH_perf.json payload to stdout")
+    perf_p.add_argument("--out",
+                        help="also write the payload to this file")
+    perf_p.add_argument("--check", action="store_true",
+                        help="exit non-zero on gross hot-path regressions")
+    perf_p.set_defaults(func=cmd_perf)
 
     gen_p = sub.add_parser("gen-trace", help="export a synthetic trace file")
     gen_p.add_argument("--workload", required=True)

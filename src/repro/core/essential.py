@@ -27,9 +27,11 @@ def diff_words(old: Tuple[int, ...], new: Tuple[int, ...]) -> int:
     if len(old) != WORDS_PER_LINE or len(new) != WORDS_PER_LINE:
         raise ValueError("lines must have 8 words")
     mask = 0
-    for i, (old_word, new_word) in enumerate(zip(old, new)):
+    bit = 1
+    for old_word, new_word in zip(old, new):
         if old_word != new_word:
-            mask |= 1 << i
+            mask |= bit
+        bit <<= 1
     return mask
 
 

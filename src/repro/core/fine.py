@@ -184,11 +184,9 @@ class FineWriteEngine:
                 final = max(completion, pcc_end)
                 window.extend(final)
                 window.note_service_end(final)
-                c.engine.schedule_at(
-                    final, lambda: c._complete_write(req)
-                )
+                c.engine.call_at(final, c._complete_write, req)
 
-            c.engine.schedule_at(data_end, _step_two)
+            c.engine.call_at(data_end, _step_two)
         else:
             pcc_end = self.issue_code_update(
                 rank, pcc_chip, bank, row, earliest=start
@@ -242,9 +240,7 @@ class FineWriteEngine:
             )
         self.inflight += 1
         if not hold_completion:
-            c.engine.schedule_at(
-                completion, lambda: c._complete_write(req)
-            )
+            c.engine.call_at(completion, c._complete_write, req)
 
     def note_write_complete(self) -> None:
         self.inflight -= 1

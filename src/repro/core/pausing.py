@@ -202,12 +202,12 @@ class WritePausingPolicy(BaseSchedulerPolicy):
                         extra={"remaining_ticks": left,
                                "pauses_used": pauses_used + 1},
                     ))
-                c.engine.schedule_at(end + pause_budget, c._kick)
+                c.engine.call_at(end + pause_budget, c._kick)
                 c._kick()
                 return
             self._run_segment(req, decoded, end, left, pauses_used)
 
-        c.engine.schedule_at(end, at_boundary)
+        c.engine.call_at(end, at_boundary)
 
     def _resume_paused(self, now: int) -> bool:
         c = self.controller

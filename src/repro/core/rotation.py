@@ -16,6 +16,13 @@ The paper's three layouts (§IV-A2, §IV-C2, Figure 6):
 All layouts are pure functions of the line address, so the controller
 never needs per-line bookkeeping (paper §IV-C2) — the same property this
 module's property tests pin down.
+
+Being pure *and periodic* in the line address (period 1, 8 or 10), every
+lookup the scheduler's hot loops perform — ``data_chip``, ``dirty_chips``
+over all 256 masks, ``read_chips``, ``word_of_chip`` — is precomputed per
+rotation offset at construction.  Subclasses supply only the raw
+``offset x slot -> chip`` arithmetic (``_raw_*``); the base class builds
+the tables and serves all queries from them.
 """
 
 from __future__ import annotations
@@ -25,52 +32,108 @@ from typing import Optional, Tuple
 from repro.memory.address import MemoryGeometry
 from repro.memory.request import WORDS_PER_LINE
 
+_FULL_MASK = (1 << WORDS_PER_LINE) - 1
+
 
 class RankLayout:
-    """Base class: maps logical line slots to physical chips."""
+    """Base class: maps logical line slots to physical chips.
+
+    Subclasses call :meth:`_build_layout_tables` at the end of their
+    ``__init__`` with the layout's rotation period; all public queries
+    are then O(1) table lookups keyed on ``line_address % period``.
+    """
 
     #: Number of physical chips this layout addresses.
     n_chips: int
 
+    # ------------------------------------------------------------------
+    # Raw per-offset arithmetic supplied by subclasses
+    # ------------------------------------------------------------------
+    def _raw_data_chip(self, offset: int, word: int) -> int:
+        """Physical chip of ``word`` for lines with rotation ``offset``."""
+        raise NotImplementedError
+
+    def _raw_ecc_chip(self, offset: int) -> int:
+        """Physical chip of the SECDED word at rotation ``offset``."""
+        raise NotImplementedError
+
+    def _raw_pcc_chip(self, offset: int) -> Optional[int]:
+        """Physical chip of the PCC word (None without a PCC chip)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Table construction
+    # ------------------------------------------------------------------
+    def _build_layout_tables(self, period: int) -> None:
+        self._period = period
+        data_by_offset = []
+        dirty_by_offset = []
+        read_by_offset = []
+        ecc_by_offset = []
+        pcc_by_offset = []
+        word_of_chip_by_offset = []
+        for offset in range(period):
+            chips = tuple(
+                self._raw_data_chip(offset, w) for w in range(WORDS_PER_LINE)
+            )
+            data_by_offset.append(chips)
+            dirty_by_offset.append(tuple(
+                tuple(
+                    chips[w] for w in range(WORDS_PER_LINE) if (mask >> w) & 1
+                )
+                for mask in range(_FULL_MASK + 1)
+            ))
+            ecc = self._raw_ecc_chip(offset)
+            ecc_by_offset.append(ecc)
+            pcc_by_offset.append(self._raw_pcc_chip(offset))
+            read_by_offset.append(chips + (ecc,))
+            inverse: list = [None] * self.n_chips
+            for w, chip in enumerate(chips):
+                inverse[chip] = w
+            word_of_chip_by_offset.append(tuple(inverse))
+        self._data_by_offset = tuple(data_by_offset)
+        self._dirty_by_offset = tuple(dirty_by_offset)
+        self._read_by_offset = tuple(read_by_offset)
+        self._ecc_by_offset = tuple(ecc_by_offset)
+        self._pcc_by_offset = tuple(pcc_by_offset)
+        self._word_of_chip_by_offset = tuple(word_of_chip_by_offset)
+
+    # ------------------------------------------------------------------
+    # Queries (all table lookups)
+    # ------------------------------------------------------------------
     def data_chip(self, line_address: int, word: int) -> int:
         """Physical chip holding ``word`` of the line."""
-        raise NotImplementedError
+        if not 0 <= word < WORDS_PER_LINE:
+            raise ValueError(f"word index out of range: {word}")
+        return self._data_by_offset[line_address % self._period][word]
 
     def ecc_chip(self, line_address: int) -> int:
         """Physical chip holding the line's SECDED word."""
-        raise NotImplementedError
+        return self._ecc_by_offset[line_address % self._period]
 
     def pcc_chip(self, line_address: int) -> Optional[int]:
         """Physical chip holding the line's PCC word (None without PCC)."""
-        raise NotImplementedError
+        return self._pcc_by_offset[line_address % self._period]
 
-    # ------------------------------------------------------------------
-    # Derived helpers shared by all layouts
-    # ------------------------------------------------------------------
     def all_data_chips(self, line_address: int) -> Tuple[int, ...]:
         """Physical chips of all eight data words, in word order."""
-        return tuple(
-            self.data_chip(line_address, w) for w in range(WORDS_PER_LINE)
-        )
+        return self._data_by_offset[line_address % self._period]
 
     def dirty_chips(self, line_address: int, dirty_mask: int) -> Tuple[int, ...]:
         """Physical chips that a write with ``dirty_mask`` must update."""
-        return tuple(
-            self.data_chip(line_address, w)
-            for w in range(WORDS_PER_LINE)
-            if (dirty_mask >> w) & 1
-        )
+        return self._dirty_by_offset[line_address % self._period][
+            dirty_mask & _FULL_MASK
+        ]
 
     def word_of_chip(self, line_address: int, chip: int) -> Optional[int]:
         """Which data word of the line lives on ``chip`` (None if none)."""
-        for w in range(WORDS_PER_LINE):
-            if self.data_chip(line_address, w) == chip:
-                return w
-        return None
+        if not 0 <= chip < self.n_chips:
+            return None
+        return self._word_of_chip_by_offset[line_address % self._period][chip]
 
     def read_chips(self, line_address: int) -> Tuple[int, ...]:
         """Chips involved in a normal coarse read (data + ECC)."""
-        return self.all_data_chips(line_address) + (self.ecc_chip(line_address),)
+        return self._read_by_offset[line_address % self._period]
 
 
 class FixedLayout(RankLayout):
@@ -79,16 +142,15 @@ class FixedLayout(RankLayout):
     def __init__(self, geometry: MemoryGeometry):
         self.geometry = geometry
         self.n_chips = geometry.chips_per_rank
+        self._build_layout_tables(period=1)
 
-    def data_chip(self, line_address: int, word: int) -> int:
-        if not 0 <= word < WORDS_PER_LINE:
-            raise ValueError(f"word index out of range: {word}")
+    def _raw_data_chip(self, offset: int, word: int) -> int:
         return word
 
-    def ecc_chip(self, line_address: int) -> int:
+    def _raw_ecc_chip(self, offset: int) -> int:
         return self.geometry.ecc_chip_index
 
-    def pcc_chip(self, line_address: int) -> Optional[int]:
+    def _raw_pcc_chip(self, offset: int) -> Optional[int]:
         if not self.geometry.has_pcc_chip:
             return None
         return self.geometry.pcc_chip_index
@@ -105,17 +167,15 @@ class DataRotatedLayout(RankLayout):
     def __init__(self, geometry: MemoryGeometry):
         self.geometry = geometry
         self.n_chips = geometry.chips_per_rank
+        self._build_layout_tables(period=geometry.data_chips)
 
-    def data_chip(self, line_address: int, word: int) -> int:
-        if not 0 <= word < WORDS_PER_LINE:
-            raise ValueError(f"word index out of range: {word}")
-        offset = line_address % self.geometry.data_chips
+    def _raw_data_chip(self, offset: int, word: int) -> int:
         return (word + offset) % self.geometry.data_chips
 
-    def ecc_chip(self, line_address: int) -> int:
+    def _raw_ecc_chip(self, offset: int) -> int:
         return self.geometry.ecc_chip_index
 
-    def pcc_chip(self, line_address: int) -> Optional[int]:
+    def _raw_pcc_chip(self, offset: int) -> Optional[int]:
         if not self.geometry.has_pcc_chip:
             return None
         return self.geometry.pcc_chip_index
@@ -140,21 +200,16 @@ class FullyRotatedLayout(RankLayout):
             raise ValueError(
                 f"full rotation expects 10 chips, geometry has {self.n_chips}"
             )
+        self._build_layout_tables(period=self.n_chips)
 
-    def _chip_of_slot(self, line_address: int, slot: int) -> int:
-        offset = line_address % self.n_chips
-        return (slot + offset) % self.n_chips
+    def _raw_data_chip(self, offset: int, word: int) -> int:
+        return (word + offset) % self.n_chips
 
-    def data_chip(self, line_address: int, word: int) -> int:
-        if not 0 <= word < WORDS_PER_LINE:
-            raise ValueError(f"word index out of range: {word}")
-        return self._chip_of_slot(line_address, word)
+    def _raw_ecc_chip(self, offset: int) -> int:
+        return (self.ECC_SLOT + offset) % self.n_chips
 
-    def ecc_chip(self, line_address: int) -> int:
-        return self._chip_of_slot(line_address, self.ECC_SLOT)
-
-    def pcc_chip(self, line_address: int) -> Optional[int]:
-        return self._chip_of_slot(line_address, self.PCC_SLOT)
+    def _raw_pcc_chip(self, offset: int) -> Optional[int]:
+        return (self.PCC_SLOT + offset) % self.n_chips
 
 
 def make_layout(

@@ -354,7 +354,7 @@ class ReadOverWritePolicy(BaseSchedulerPolicy):
             if c.storage is not None:
                 req.data_words = c.storage.read_line(line).words
             c.read_q.remove(req)
-            c.engine.schedule_at(end, lambda: c._complete_read(req))
+            c.engine.call_at(end, c._complete_read, req)
             return
 
         req.service_class = ServiceClass.ROW_OVERLAP
@@ -366,7 +366,7 @@ class ReadOverWritePolicy(BaseSchedulerPolicy):
             ]
             req.data_words = parity.reconstruct_word(partial, stored.pcc)
         c.read_q.remove(req)
-        c.engine.schedule_at(end, lambda: c._complete_read(req))
+        c.engine.call_at(end, c._complete_read, req)
         self._schedule_verify(req, decoded, missing_word, end)
 
     def _record_data_read_activity(
@@ -415,14 +415,14 @@ class ReadOverWritePolicy(BaseSchedulerPolicy):
             end = start + activation + c.timing.read_io_ticks
             rank.log_label = f"Vfy-{req.req_id}"
             rank.reserve_read(chips, decoded.bank, end, decoded.row, start=start)
-            c.engine.schedule_at(
-                end, lambda: self._finish_verify(req, decoded, missing_word)
+            c.engine.call_at(
+                end, self._finish_verify, req, decoded, missing_word
             )
 
         wake_at = max(
             read_end, rank.chips[chip].write_busy_until, c.engine.now
         )
-        c.engine.schedule_at(wake_at, _run_verify)
+        c.engine.call_at(wake_at, _run_verify)
 
     def _finish_verify(
         self, req: MemoryRequest, decoded: DecodedAddress, missing_word: int

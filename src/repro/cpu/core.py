@@ -108,7 +108,7 @@ class TraceCore:
     def start(self) -> None:
         """Begin execution at the current engine time."""
         self.start_tick = self.engine.now
-        self.engine.schedule_after(0, self._advance)
+        self.engine.call_after(0, self._advance)
 
     def _finish(self) -> None:
         if self.finish_tick is None:
@@ -134,7 +134,7 @@ class TraceCore:
                 delay = int(
                     remaining * self.params.base_cpi * self.params.cycle_ticks
                 )
-                self.engine.schedule_after(delay, self._finish)
+                self.engine.call_after(delay, self._finish)
                 return
             gap = min(
                 record.gap_instructions,
@@ -145,7 +145,7 @@ class TraceCore:
             delay += self._penalty_ticks_owed
             self._penalty_ticks_owed = 0
             self._pending = record
-            self.engine.schedule_after(delay, self._issue)
+            self.engine.call_after(delay, self._issue)
             return
         self._pending = record
         self._issue()

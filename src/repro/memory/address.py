@@ -99,9 +99,16 @@ class AddressMapper:
 
     def __init__(self, geometry: MemoryGeometry):
         self.geometry = geometry
+        #: Decode memo: the scheduler re-decodes the same request address
+        #: on every queue scan, so the (immutable) result is cached per
+        #: mapper.  Bounded by the working set of distinct line addresses.
+        self._decoded: dict = {}
 
     def decode(self, address: int) -> DecodedAddress:
         """Decode a byte address.  The address must be line aligned."""
+        cached = self._decoded.get(address)
+        if cached is not None:
+            return cached
         if address % LINE_BYTES:
             raise ValueError(f"address {address:#x} not line aligned")
         if not 0 <= address < self.geometry.capacity_bytes:
@@ -115,7 +122,7 @@ class AddressMapper:
         rest, column = divmod(rest, geo.lines_per_row)
         rest, bank = divmod(rest, geo.banks_per_rank)
         row, rank = divmod(rest, geo.ranks_per_channel)
-        return DecodedAddress(
+        decoded = DecodedAddress(
             channel=channel,
             rank=rank,
             bank=bank,
@@ -123,6 +130,8 @@ class AddressMapper:
             column=column,
             line_address=line,
         )
+        self._decoded[address] = decoded
+        return decoded
 
     def encode(
         self, channel: int, rank: int, bank: int, row: int, column: int

@@ -310,7 +310,7 @@ class MemoryController:
                 reason="forwarded-from-write-queue",
             ))
         end = self.engine.now + self.timing.read_io_ticks
-        self.engine.schedule_at(end, lambda: self._complete_read(req))
+        self.engine.call_at(end, self._complete_read, req)
         return True
 
     def _try_issue_read(self, now: int) -> bool:
@@ -376,7 +376,7 @@ class MemoryController:
         if self.storage is not None:
             req.data_words = self.storage.read_line(decoded.line_address).words
         self.read_q.remove(req)
-        self.engine.schedule_at(bus_end, lambda: self._complete_read(req))
+        self.engine.call_at(bus_end, self._complete_read, req)
 
     def _complete_read(self, req: MemoryRequest) -> None:
         req.complete(self.engine.now)
@@ -497,7 +497,7 @@ class MemoryController:
             self.storage.write_line(
                 decoded.line_address, req.new_words, req.dirty_mask
             )
-        self.engine.schedule_at(end, lambda: self._complete_write(req))
+        self.engine.call_at(end, self._complete_write, req)
 
     def _complete_write(self, req: MemoryRequest) -> None:
         self.write_q.remove(req)

@@ -42,16 +42,25 @@ class OccupancyEvent:
 class ChipState:
     """Occupancy and row-buffer state of one physical PCM chip."""
 
-    __slots__ = ("write_busy_until", "array_busy_until", "open_row")
+    __slots__ = (
+        "write_busy_until", "array_busy_until", "array_busy_max", "open_row"
+    )
 
     def __init__(self, n_banks: int):
         self.write_busy_until = 0
         self.array_busy_until: List[int] = [0] * n_banks
+        #: Running ``max(array_busy_until)``.  Busy-until values only ever
+        #: move forward (reservations take the max with the new end), so
+        #: the maximum can be maintained incrementally instead of being
+        #: rescanned on every :meth:`write_ready` query.
+        self.array_busy_max = 0
         self.open_row: List[Optional[int]] = [None] * n_banks
 
     def read_ready(self, bank: int) -> int:
         """Earliest tick a read may start on ``bank`` of this chip."""
-        return max(self.write_busy_until, self.array_busy_until[bank])
+        busy = self.array_busy_until[bank]
+        write_busy = self.write_busy_until
+        return busy if busy >= write_busy else write_busy
 
     def write_ready(self, bank: int) -> int:
         """Earliest tick an array write may start on ``bank``.
@@ -60,18 +69,29 @@ class ChipState:
         (the premise that makes a writing chip unavailable to reads also
         bars starting a write under an in-flight read on any bank).
         """
-        return max(self.write_busy_until, max(self.array_busy_until))
+        busy = self.array_busy_max
+        write_busy = self.write_busy_until
+        return busy if busy >= write_busy else write_busy
 
     def reserve_read(self, bank: int, end: int, row: Optional[int]) -> None:
         """Occupy the bank's array until ``end``; latch ``row`` if given."""
-        self.array_busy_until[bank] = max(self.array_busy_until[bank], end)
+        busy = self.array_busy_until
+        if end > busy[bank]:
+            busy[bank] = end
+            if end > self.array_busy_max:
+                self.array_busy_max = end
         if row is not None:
             self.open_row[bank] = row
 
     def reserve_write(self, bank: int, end: int, row: Optional[int]) -> None:
         """Occupy the chip's write circuitry (all banks) until ``end``."""
-        self.write_busy_until = max(self.write_busy_until, end)
-        self.array_busy_until[bank] = max(self.array_busy_until[bank], end)
+        if end > self.write_busy_until:
+            self.write_busy_until = end
+        busy = self.array_busy_until
+        if end > busy[bank]:
+            busy[bank] = end
+            if end > self.array_busy_max:
+                self.array_busy_max = end
         if row is not None:
             self.open_row[bank] = row
 
@@ -149,11 +169,29 @@ class RankState:
     # ------------------------------------------------------------------
     def read_ready_time(self, chips: Iterable[int], bank: int) -> int:
         """Earliest tick a striped read over ``chips`` may start."""
-        return max(self.chips[c].read_ready(bank) for c in chips)
+        states = self.chips
+        ready = 0
+        for c in chips:
+            chip = states[c]
+            busy = chip.array_busy_until[bank]
+            if chip.write_busy_until > busy:
+                busy = chip.write_busy_until
+            if busy > ready:
+                ready = busy
+        return ready
 
     def write_ready_time(self, chips: Iterable[int], bank: int) -> int:
         """Earliest tick a (multi-chip) write may start."""
-        return max(self.chips[c].write_ready(bank) for c in chips)
+        states = self.chips
+        ready = 0
+        for c in chips:
+            chip = states[c]
+            busy = chip.array_busy_max
+            if chip.write_busy_until > busy:
+                busy = chip.write_busy_until
+            if busy > ready:
+                ready = busy
+        return ready
 
     def chip_write_busy_until(self, chip: int) -> int:
         return self.chips[chip].write_busy_until
@@ -186,16 +224,17 @@ class RankState:
         Row hit costs nothing; a conflict pays the row close plus the
         array read; an empty row buffer pays only the array read.
         """
+        read_ticks = self.timing.array_read_ticks
+        conflict_ticks = self.timing.row_close_ticks + read_ticks
+        states = self.chips
         worst = 0
         for c in chips:
-            open_row = self.chips[c].open_row[bank]
+            open_row = states[c].open_row[bank]
             if open_row == row:
-                cost = 0
-            elif open_row is None:
-                cost = self.timing.array_read_ticks
-            else:
-                cost = self.timing.row_close_ticks + self.timing.array_read_ticks
-            worst = max(worst, cost)
+                continue
+            cost = read_ticks if open_row is None else conflict_ticks
+            if cost > worst:
+                worst = cost
         return worst
 
     # ------------------------------------------------------------------

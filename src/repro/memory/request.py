@@ -36,7 +36,16 @@ class ServiceClass(enum.Enum):
 
 def popcount(mask: int) -> int:
     """Number of set bits (dirty words) in a word mask."""
-    return bin(mask).count("1")
+    return mask.bit_count()
+
+
+#: ``mask -> ascending dirty-word indices`` for all 8-bit masks; shared by
+#: every request's ``dirty_words`` property (the scheduler queries it on
+#: each candidate scan).
+_DIRTY_WORDS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(i for i in range(WORDS_PER_LINE) if (mask >> i) & 1)
+    for mask in range(1 << WORDS_PER_LINE)
+)
 
 
 @dataclass
@@ -114,14 +123,12 @@ class MemoryRequest:
     @property
     def dirty_words(self) -> Tuple[int, ...]:
         """Indices of dirty words, ascending."""
-        return tuple(
-            i for i in range(WORDS_PER_LINE) if (self.dirty_mask >> i) & 1
-        )
+        return _DIRTY_WORDS[self.dirty_mask]
 
     @property
     def dirty_count(self) -> int:
         """Number of essential (dirty) words."""
-        return popcount(self.dirty_mask)
+        return self.dirty_mask.bit_count()
 
     @property
     def latency(self) -> int:

@@ -13,6 +13,7 @@ Timing-only simulations skip this module entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 from repro.ecc import hamming, parity
@@ -21,11 +22,14 @@ from repro.memory.request import WORDS_PER_LINE
 _WORD_MASK = (1 << 64) - 1
 
 
+@lru_cache(maxsize=32768)
 def _cold_pattern(line_address: int) -> Tuple[int, ...]:
     """Deterministic initial contents of an untouched line.
 
     A splitmix64-style mix of the line address and word index — cheap,
     stable across runs, and bit-dense enough to exercise the ECC paths.
+    Memoised (the pattern is a pure function of the address): sweeps
+    re-materialise the same cold lines across systems and seeds.
     """
     words = []
     for i in range(WORDS_PER_LINE):
@@ -34,6 +38,19 @@ def _cold_pattern(line_address: int) -> Tuple[int, ...]:
         z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _WORD_MASK
         words.append(z ^ (z >> 31))
     return tuple(words)
+
+
+@lru_cache(maxsize=32768)
+def _cold_line(line_address: int) -> Tuple[Tuple[int, ...], Tuple[int, ...], int]:
+    """Fully derived ``(words, checks, pcc)`` template of a cold line.
+
+    Pure function of the address, so the SECDED line encode and the PCC
+    parity are computed once per line *process-wide* and shared by every
+    :class:`MemoryStorage` instance (the tuples are immutable; stores
+    replace whole :class:`StoredLine` records, never mutate them).
+    """
+    words = _cold_pattern(line_address)
+    return words, hamming.encode_line(words), parity.compute_parity(words)
 
 
 @dataclass
@@ -60,11 +77,11 @@ class MemoryStorage:
     def _materialise(self, line_address: int) -> StoredLine:
         line = self._lines.get(line_address)
         if line is None:
-            words = _cold_pattern(line_address)
+            words, checks, pcc = _cold_line(line_address)
             line = StoredLine(
                 words=words,
-                checks=hamming.encode_line(words),
-                pcc=parity.compute_parity(words) if self.keep_pcc else 0,
+                checks=checks,
+                pcc=pcc if self.keep_pcc else 0,
             )
             self._lines[line_address] = line
         return line
@@ -90,11 +107,15 @@ class MemoryStorage:
             raise ValueError("expected 8 words")
         old = self._materialise(line_address).words
         mask = 0
-        for i, (old_word, new_word) in enumerate(zip(old, new_words)):
+        bit = 1
+        silent = 0
+        for old_word, new_word in zip(old, new_words):
             if old_word != new_word:
-                mask |= 1 << i
+                mask |= bit
             else:
-                self.silent_word_writes += 1
+                silent += 1
+            bit <<= 1
+        self.silent_word_writes += silent
         return mask
 
     def write_line(
@@ -112,17 +133,25 @@ class MemoryStorage:
         old = self._materialise(line_address)
         if dirty_mask is None:
             dirty_mask = self.diff_mask(line_address, new_words)
+        mask = dirty_mask & ((1 << WORDS_PER_LINE) - 1)
+        if not mask:
+            return dirty_mask
         words = list(old.words)
         checks = list(old.checks)
         pcc = old.pcc
-        for i in range(WORDS_PER_LINE):
-            if not (dirty_mask >> i) & 1:
-                continue
-            if self.keep_pcc:
-                pcc = parity.update_parity(pcc, words[i], new_words[i])
-            words[i] = new_words[i]
-            checks[i] = hamming.encode(new_words[i])
-            self.committed_words += 1
+        keep_pcc = self.keep_pcc
+        committed = 0
+        remaining = mask
+        while remaining:
+            i = (remaining & -remaining).bit_length() - 1
+            remaining &= remaining - 1
+            new_word = new_words[i]
+            if keep_pcc:
+                pcc ^= words[i] ^ new_word
+            words[i] = new_word
+            checks[i] = hamming.encode(new_word)
+            committed += 1
+        self.committed_words += committed
         self._lines[line_address] = StoredLine(tuple(words), tuple(checks), pcc)
         return dirty_mask
 

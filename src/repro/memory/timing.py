@@ -20,7 +20,7 @@ Two deviations from Table I, both documented in DESIGN.md §5:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.sim.engine import ns_to_ticks
 
@@ -71,62 +71,55 @@ class TimingParams:
     status_poll_ns: float = 0.8
 
     # ------------------------------------------------------------------
-    # Derived quantities (ticks)
+    # Derived quantities (ticks) — precomputed once per instance.  These
+    # sit on the simulator's innermost loops (every ready-time query and
+    # reservation reads them), so they are plain attributes rather than
+    # properties recomputing ``ns_to_ticks`` on each access.  ``replace``
+    # variants re-derive them through ``__post_init__``.
     # ------------------------------------------------------------------
-    @property
-    def cycle_ticks(self) -> int:
-        """Engine ticks per memory-bus cycle."""
-        return ns_to_ticks(1000.0 / self.mem_clock_mhz)
+    #: Engine ticks per memory-bus cycle.
+    cycle_ticks: int = field(init=False, repr=False, compare=False)
+    #: Duration of one burst-of-8 data transfer (BL/2 cycles, DDR).
+    burst_ticks: int = field(init=False, repr=False, compare=False)
+    #: Column-read command to end of data burst.
+    read_io_ticks: int = field(init=False, repr=False, compare=False)
+    #: Column-write command to end of data burst.
+    write_io_ticks: int = field(init=False, repr=False, compare=False)
+    #: PCM array read (row activation / read-before-write).
+    array_read_ticks: int = field(init=False, repr=False, compare=False)
+    #: Dirty-word array write in FIXED mode.
+    array_write_ticks: int = field(init=False, repr=False, compare=False)
+    array_write_set_ticks: int = field(init=False, repr=False, compare=False)
+    array_write_reset_ticks: int = field(init=False, repr=False, compare=False)
+    #: ECC/PCC word update duration.
+    ecc_update_ticks: int = field(init=False, repr=False, compare=False)
+    row_close_ticks: int = field(init=False, repr=False, compare=False)
+    status_poll_ticks: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        set_attr = object.__setattr__  # frozen dataclass
+        cycle = ns_to_ticks(1000.0 / self.mem_clock_mhz)
+        burst = cycle * (self.burst_length // 2)
+        array_write = ns_to_ticks(self.array_write_ns)
+        set_attr(self, "cycle_ticks", cycle)
+        set_attr(self, "burst_ticks", burst)
+        set_attr(self, "read_io_ticks", cycle * self.tCL + burst)
+        set_attr(self, "write_io_ticks", cycle * self.tWL + burst)
+        set_attr(self, "array_read_ticks", ns_to_ticks(self.array_read_ns))
+        set_attr(self, "array_write_ticks", array_write)
+        set_attr(self, "array_write_set_ticks", ns_to_ticks(self.array_write_set_ns))
+        set_attr(self, "array_write_reset_ticks", ns_to_ticks(self.array_write_reset_ns))
+        set_attr(
+            self,
+            "ecc_update_ticks",
+            int(round(array_write * self.ecc_update_fraction)),
+        )
+        set_attr(self, "row_close_ticks", cycle * self.tRP)
+        set_attr(self, "status_poll_ticks", ns_to_ticks(self.status_poll_ns))
 
     def cycles(self, n: int) -> int:
         """Convert a cycle count to ticks."""
         return n * self.cycle_ticks
-
-    @property
-    def burst_ticks(self) -> int:
-        """Duration of one burst-of-8 data transfer (BL/2 cycles, DDR)."""
-        return self.cycles(self.burst_length // 2)
-
-    @property
-    def read_io_ticks(self) -> int:
-        """Column-read command to end of data burst."""
-        return self.cycles(self.tCL) + self.burst_ticks
-
-    @property
-    def write_io_ticks(self) -> int:
-        """Column-write command to end of data burst."""
-        return self.cycles(self.tWL) + self.burst_ticks
-
-    @property
-    def array_read_ticks(self) -> int:
-        """PCM array read (row activation / read-before-write)."""
-        return ns_to_ticks(self.array_read_ns)
-
-    @property
-    def array_write_ticks(self) -> int:
-        """Dirty-word array write in FIXED mode."""
-        return ns_to_ticks(self.array_write_ns)
-
-    @property
-    def array_write_set_ticks(self) -> int:
-        return ns_to_ticks(self.array_write_set_ns)
-
-    @property
-    def array_write_reset_ticks(self) -> int:
-        return ns_to_ticks(self.array_write_reset_ns)
-
-    @property
-    def ecc_update_ticks(self) -> int:
-        """ECC/PCC word update duration."""
-        return int(round(self.array_write_ticks * self.ecc_update_fraction))
-
-    @property
-    def row_close_ticks(self) -> int:
-        return self.cycles(self.tRP)
-
-    @property
-    def status_poll_ticks(self) -> int:
-        return ns_to_ticks(self.status_poll_ns)
 
     @property
     def write_to_read_ratio(self) -> float:

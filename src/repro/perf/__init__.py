@@ -1,0 +1,37 @@
+"""Tracked microbenchmarks for the functional simulation hot paths.
+
+The suite times the four layers the hot-path optimisation work targets —
+the SECDED codec, the functional backing store, the event-engine dispatch
+loop, and one end-to-end ``rwow-rde`` run — and emits a seed- and
+git-stamped ``BENCH_perf.json`` so revisions stay comparable.
+
+Entry points: the ``repro perf`` CLI command and the thin wrappers in
+``benchmarks/perf/``.  See docs/PERFORMANCE.md for the workflow.
+"""
+
+from repro.perf.microbench import BenchReport, time_call
+from repro.perf.suites import (
+    PRE_PR_BASELINE,
+    SCHEMA_VERSION,
+    bench_codec,
+    bench_end_to_end,
+    bench_engine_dispatch,
+    bench_storage,
+    check_payload,
+    format_payload,
+    run_suite,
+)
+
+__all__ = [
+    "BenchReport",
+    "PRE_PR_BASELINE",
+    "SCHEMA_VERSION",
+    "bench_codec",
+    "bench_end_to_end",
+    "bench_engine_dispatch",
+    "bench_storage",
+    "check_payload",
+    "format_payload",
+    "run_suite",
+    "time_call",
+]

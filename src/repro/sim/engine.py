@@ -9,13 +9,24 @@ the paper's configuration (Table I).
 Events scheduled for the same tick fire in the order they were scheduled
 (a monotonically increasing sequence number breaks ties), which keeps the
 controller logic deterministic without fragile floating-point comparisons.
+
+Two scheduling flavours share one queue (and one sequence counter, so
+relative ordering is identical whichever is used):
+
+* :meth:`Engine.schedule_at` returns an :class:`EventHandle` that can be
+  cancelled before it fires — for events a controller may retract (armed
+  wake-ups).
+* :meth:`Engine.call_at` is the fast path for events that are never
+  cancelled (request completions, verify steps): no handle object is
+  allocated, and the callback's arguments ride in the heap entry so call
+  sites need no per-event closure.
 """
 
 from __future__ import annotations
 
 import heapq
 from time import perf_counter
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 #: Number of ticks per nanosecond.  One tick = 0.1 ns.
 TICKS_PER_NS = 10
@@ -38,17 +49,32 @@ class CancelledEvent(Exception):
 class EventHandle:
     """Handle to a scheduled event, usable to cancel it before it fires."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_engine")
 
-    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[[], None],
+        engine: Optional["Engine"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None:
+                self._engine._live -= 1
+
+
+#: Heap entry: (time, seq, callback, args, handle-or-None).  ``seq`` is
+#: unique, so comparison never reaches the non-orderable tail fields.
+_Entry = Tuple[int, int, Callable[..., None], Tuple[Any, ...], Optional[EventHandle]]
 
 
 class Engine:
@@ -62,8 +88,11 @@ class Engine:
     """
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[int, int, EventHandle]] = []
+        self._queue: List[_Entry] = []
         self._seq = 0
+        #: Non-cancelled events still queued (kept exact so ``pending()``
+        #: is O(1) instead of a queue scan).
+        self._live = 0
         self.now: int = 0
         self._running = False
         #: Total events fired over the engine's lifetime (always counted —
@@ -98,8 +127,9 @@ class Engine:
                 f"cannot schedule event at tick {time}, now is {self.now}"
             )
         self._seq += 1
-        handle = EventHandle(time, self._seq, callback)
-        heapq.heappush(self._queue, (time, self._seq, handle))
+        handle = EventHandle(time, self._seq, callback, self)
+        heapq.heappush(self._queue, (time, self._seq, callback, (), handle))
+        self._live += 1
         return handle
 
     def schedule_after(self, delay: int, callback: Callable[[], None]) -> EventHandle:
@@ -108,35 +138,58 @@ class Engine:
             raise ValueError(f"negative delay: {delay}")
         return self.schedule_at(self.now + delay, callback)
 
+    def call_at(self, time: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a never-cancelled ``callback(*args)`` at tick ``time``.
+
+        The fast path for completion-style events: no :class:`EventHandle`
+        is allocated and the arguments travel in the heap entry, so hot
+        call sites avoid both the handle and a per-event closure.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event at tick {time}, now is {self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, callback, args, None))
+        self._live += 1
+
+    def call_after(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a never-cancelled ``callback(*args)`` after ``delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.call_at(self.now + delay, callback, *args)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def peek_time(self) -> Optional[int]:
         """Return the tick of the next pending event, or ``None`` if empty."""
-        while self._queue:
-            time, _seq, handle = self._queue[0]
-            if handle.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            handle = entry[4]
+            if handle is not None and handle.cancelled:
+                heapq.heappop(queue)
                 continue
-            return time
+            return entry[0]
         return None
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns ``False`` when idle."""
-        while self._queue:
-            time, _seq, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
+        queue = self._queue
+        while queue:
+            time, _seq, callback, args, handle = heapq.heappop(queue)
+            if handle is not None and handle.cancelled:
                 continue
             self.now = time
             self.events_dispatched += 1
+            self._live -= 1
             if self.profiler is not None:
                 start = perf_counter()
-                handle.callback()
-                self.profiler.record(
-                    perf_counter() - start, time, handle.callback
-                )
+                callback(*args)
+                self.profiler.record(perf_counter() - start, time, callback)
             else:
-                handle.callback()
+                callback(*args)
             return True
         return False
 
@@ -149,16 +202,31 @@ class Engine:
         """
         fired = 0
         self._running = True
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while True:
-                next_time = self.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
+            while queue:
+                entry = queue[0]
+                handle = entry[4]
+                if handle is not None and handle.cancelled:
+                    pop(queue)
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                self.step()
+                pop(queue)
+                callback, args = entry[2], entry[3]
+                self.now = time
+                self.events_dispatched += 1
+                self._live -= 1
+                if self.profiler is not None:
+                    start = perf_counter()
+                    callback(*args)
+                    self.profiler.record(perf_counter() - start, time, callback)
+                else:
+                    callback(*args)
                 fired += 1
         finally:
             self._running = False
@@ -167,5 +235,5 @@ class Engine:
         return fired
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _t, _s, h in self._queue if not h.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live

@@ -1,9 +1,11 @@
 """Unit tests for essential-word detection."""
 
+import random
+
 import pytest
 
 from repro.core.essential import EssentialWordDetector, EssentialWordStats, diff_words
-from repro.memory.request import make_read, make_write
+from repro.memory.request import WORDS_PER_LINE, make_read, make_write
 from repro.memory.storage import MemoryStorage
 
 
@@ -76,3 +78,18 @@ def test_stats_empty():
     assert stats.fraction(1) == 0.0
     assert stats.fraction_at_most(8) == 0.0
     assert stats.mean_dirty_words == 0.0
+
+
+def test_diff_words_random_pairs_match_naive():
+    rng = random.Random(1234)
+    for _ in range(200):
+        old = tuple(rng.getrandbits(64) for _ in range(WORDS_PER_LINE))
+        new = tuple(
+            word if rng.random() < 0.5 else rng.getrandbits(64)
+            for word in old
+        )
+        expected = 0
+        for i in range(WORDS_PER_LINE):
+            if old[i] != new[i]:
+                expected |= 1 << i
+        assert diff_words(old, new) == expected

@@ -153,3 +153,52 @@ def test_property_distinct_words_rarely_share_codewords(a, b):
     if a == b:
         assert hamming.encode(a) == hamming.encode(b)
     assert hamming.decode(a, hamming.encode(a)).status is DecodeStatus.CLEAN
+
+# ----------------------------------------------------------------------
+# Table-driven fast path vs the bit-loop reference (the tables' spec)
+# ----------------------------------------------------------------------
+@given(WORDS)
+@settings(max_examples=300)
+def test_property_encode_matches_reference(data):
+    assert hamming.encode(data) == hamming._encode_reference(data)
+
+
+@given(WORDS, st.integers(min_value=0, max_value=0xFF))
+@settings(max_examples=300)
+def test_property_decode_matches_reference_any_check(data, check):
+    # Arbitrary (data, check) pairs reach every decode branch, including
+    # the out-of-codeword syndromes 72..127.
+    fast = hamming.decode(data, check)
+    reference = hamming._decode_reference(data, check)
+    assert fast == reference
+
+
+@given(WORDS, POSITIONS)
+@settings(max_examples=200)
+def test_property_decode_matches_reference_single_error(data, position):
+    check = hamming.encode(data)
+    bad_data, bad_check = hamming.inject_error(data, check, (position,))
+    assert hamming.decode(bad_data, bad_check) == hamming._decode_reference(
+        bad_data, bad_check
+    )
+
+
+@given(WORDS, st.lists(POSITIONS, min_size=2, max_size=2, unique=True))
+@settings(max_examples=200)
+def test_property_decode_matches_reference_double_error(data, positions):
+    check = hamming.encode(data)
+    bad_data, bad_check = hamming.inject_error(data, check, tuple(positions))
+    assert hamming.decode(bad_data, bad_check) == hamming._decode_reference(
+        bad_data, bad_check
+    )
+
+
+def test_syndrome_table_marks_check_positions():
+    # Positions 1, 2, 4, ... 64 carry check bits (-1); all other nonzero
+    # positions map back to their data-bit index.
+    table = hamming._SYNDROME_TO_DATA_BIT
+    for position in range(1, 72):
+        if position in (1, 2, 4, 8, 16, 32, 64):
+            assert table[position] == -1
+        else:
+            assert table[position] >= 0

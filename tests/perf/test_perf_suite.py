@@ -1,0 +1,101 @@
+"""Determinism and schema tests for the perf microbenchmark suite.
+
+The contract: everything except the measured timing values is a pure
+function of ``(seed, smoke)``.  Two same-seed invocations must agree on
+the JSON schema, the benchmark names and configs, and the metric *keys*
+— only the timing values may differ between runs.
+"""
+
+import json
+
+from repro import cli
+from repro.perf import PRE_PR_BASELINE, SCHEMA_VERSION, check_payload, run_suite
+
+#: Top-level keys of the BENCH_perf.json payload, in any order.
+TOP_LEVEL_KEYS = {
+    "schema", "suite", "seed", "smoke", "code_version",
+    "baseline", "benchmarks", "speedups",
+}
+
+BENCHMARK_NAMES = ["codec", "storage", "engine", "end_to_end"]
+
+
+def _run_cli_json(capsys, seed: int) -> dict:
+    rc = cli.main(["perf", "--json", "--smoke", "--seed", str(seed)])
+    assert rc == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def _shape(payload: dict) -> dict:
+    """Everything that must be identical across same-seed runs."""
+    return {
+        "schema": payload["schema"],
+        "suite": payload["suite"],
+        "seed": payload["seed"],
+        "smoke": payload["smoke"],
+        "baseline": payload["baseline"],
+        "benchmarks": [
+            {
+                "name": bench["name"],
+                "config": bench["config"],
+                "metric_keys": sorted(bench["metrics"]),
+            }
+            for bench in payload["benchmarks"]
+        ],
+        "speedup_keys": sorted(payload["speedups"]),
+    }
+
+
+def test_perf_cli_json_is_deterministic_modulo_timings(capsys):
+    first = _run_cli_json(capsys, seed=3)
+    second = _run_cli_json(capsys, seed=3)
+    assert _shape(first) == _shape(second)
+
+
+def test_perf_payload_schema(capsys):
+    payload = _run_cli_json(capsys, seed=3)
+    assert set(payload) == TOP_LEVEL_KEYS
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["suite"] == "perf"
+    assert payload["seed"] == 3
+    assert payload["smoke"] is True
+    assert isinstance(payload["code_version"], str) and payload["code_version"]
+    assert payload["baseline"] == PRE_PR_BASELINE
+    assert [b["name"] for b in payload["benchmarks"]] == BENCHMARK_NAMES
+    for bench in payload["benchmarks"]:
+        assert set(bench) == {"name", "config", "metrics"}
+        assert bench["config"], bench["name"]
+        for metric, value in bench["metrics"].items():
+            assert isinstance(value, (int, float)), (bench["name"], metric)
+    end_to_end = payload["benchmarks"][-1]["config"]
+    assert end_to_end["system"] == "rwow-rde"
+    assert end_to_end["workload"] == "canneal"
+    assert end_to_end["seed"] == 3
+    # Smoke budgets never mix with the full-budget pre-PR ratios.
+    assert all("vs_pre_pr" not in key for key in payload["speedups"])
+
+
+def test_run_suite_passes_its_own_regression_gate():
+    payload = run_suite(seed=3, smoke=True)
+    assert check_payload(payload) == []
+
+
+def test_check_payload_flags_gross_regressions():
+    bad = {
+        "speedups": {
+            "codec.encode_vs_reference": 0.5,
+            "codec.decode_vs_reference": 9.0,
+        },
+        "benchmarks": [
+            {"name": "codec", "metrics": {"encode_us": 0.0}},
+        ],
+    }
+    failures = check_payload(bad)
+    assert any("codec.encode_vs_reference" in f for f in failures)
+    assert any("non-positive" in f for f in failures)
+
+
+def test_check_payload_reports_missing_metrics():
+    failures = check_payload({"speedups": {}, "benchmarks": []})
+    assert len(failures) == 2
+    assert all("missing" in f for f in failures)

@@ -144,3 +144,67 @@ def test_run_returns_event_count():
     for i in range(7):
         engine.schedule_at(i, lambda: None)
     assert engine.run() == 7
+
+
+def test_call_at_passes_args_without_handle():
+    engine = Engine()
+    seen = []
+    engine.call_at(10, seen.append, "a")
+    engine.call_at(5, seen.append, "b")
+    engine.run()
+    assert seen == ["b", "a"]
+
+
+def test_call_after_is_relative():
+    engine = Engine()
+    times = []
+    engine.call_at(10, lambda: engine.call_after(5, times.append, engine.now))
+    engine.run()
+    # The arg is evaluated at scheduling time (tick 10), not dispatch.
+    assert times == [10]
+    assert engine.now == 15
+
+
+def test_call_at_rejects_past_times():
+    engine = Engine()
+    engine.call_at(10, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.call_at(5, lambda: None)
+
+
+def test_call_at_and_schedule_at_share_seq_ordering():
+    engine = Engine()
+    fired = []
+    engine.call_at(5, fired.append, "a")
+    engine.schedule_at(5, lambda: fired.append("b"))
+    engine.call_at(5, fired.append, "c")
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_pending_accounting_through_cancel_then_pop():
+    # pending() is a live counter, so the cancel must decrement it exactly
+    # once: at cancel() time, not again when the dead heap entry pops.
+    engine = Engine()
+    handle = engine.schedule_at(10, lambda: None)
+    engine.call_at(20, lambda: None)
+    assert engine.pending() == 2
+    handle.cancel()
+    assert engine.pending() == 1
+    handle.cancel()  # double-cancel must not decrement again
+    assert engine.pending() == 1
+    engine.run()  # pops the cancelled entry plus the live one
+    assert engine.pending() == 0
+    assert engine.events_dispatched == 1
+
+
+def test_pending_drops_as_events_dispatch():
+    engine = Engine()
+    for tick in (10, 20, 30):
+        engine.call_at(tick, lambda: None)
+    assert engine.pending() == 3
+    engine.step()
+    assert engine.pending() == 2
+    engine.run()
+    assert engine.pending() == 0
