@@ -1,0 +1,114 @@
+"""Mis-verify rate under real injected faults (§IV-B3, Table IV band).
+
+The paper bounds RoW's mis-verify-triggered CPU rollbacks at 5.8% of
+RoW reads (canneal, Table IV's worst case).  Where ``bench_tab4`` models
+that rate *statistically* (``row_rollback_rate``), this benchmark
+*earns* every rollback: seeded fault campaigns inject read disturb,
+write failures and wear-induced stuck-at cells at the storage boundary,
+and the only rollbacks counted are those the deferred SECDED verify
+actually raised against a corrupted PCC reconstruction.
+
+Shape asserted per campaign:
+
+* the measured mis-verify rate stays inside the paper's ≤5.8% band,
+* fault pressure produces *some* corrupted-verify rollbacks overall
+  (the machinery is exercised, not dormant), and
+* every campaign's differential oracle finishes clean — no fault ever
+  corrupts memory state outside the ledger's accounting.
+"""
+
+from repro.analysis import format_table
+from repro.faults import DEFAULT_FAULTS, FaultCampaignSpec, run_campaign
+
+from benchmarks.common import write_report
+
+#: Seeded campaigns over the configurations that actually open RoW
+#: windows at this scale: canneal (Table IV's 5.8% worst case) across
+#: the paper's RoW-bearing systems and seeds, plus a multi-programmed
+#: mix.  The RoW-only systems (no essential-word detection shortening
+#: writes) drain longest and reconstruct the most reads — the largest
+#: mis-verify sample.
+_CAMPAIGNS = [
+    FaultCampaignSpec(workload="canneal", system="rwow-rde", seed=seed,
+                      target_requests=10_000, fault=DEFAULT_FAULTS)
+    for seed in (1, 2, 3)
+] + [
+    FaultCampaignSpec(workload="canneal", system="rwow-rd", seed=seed,
+                      target_requests=10_000, fault=DEFAULT_FAULTS)
+    for seed in (1, 2)
+] + [
+    FaultCampaignSpec(workload="canneal", system="rwow-nr", seed=1,
+                      target_requests=10_000, fault=DEFAULT_FAULTS),
+    FaultCampaignSpec(workload="MP6", system="rwow-rd", seed=1,
+                      target_requests=10_000, fault=DEFAULT_FAULTS),
+]
+
+_RESULTS = []
+
+
+def _run() -> list:
+    if _RESULTS:
+        return _RESULTS
+    for spec in _CAMPAIGNS:
+        _RESULTS.append((spec, run_campaign(spec)))
+    return _RESULTS
+
+
+def _build_report() -> str:
+    rows = []
+    total_rollbacks = 0
+    total_row_reads = 0
+    for spec, report in _run():
+        row = report["row"]
+        injected = report["injected"]
+        total_rollbacks += row["rollbacks_corrupted"]
+        total_row_reads += row["row_reads"]
+        rows.append([
+            f"{spec.workload}/{spec.system}",
+            spec.seed,
+            injected["read_disturb_injected"] + injected["write_fail_injected"]
+            + injected["stuck_cells_activated"],
+            injected["corrected"],
+            injected["detected_uncorrectable"],
+            row["row_reads"],
+            row["rollbacks_corrupted"],
+            f"{row['misverify_rate']:.2%}",
+            "clean" if report["ok"] else "VIOLATED",
+        ])
+    pooled = total_rollbacks / total_row_reads if total_row_reads else 0.0
+    rows.append([
+        "pooled", "-", "-", "-", "-", total_row_reads, total_rollbacks,
+        f"{pooled:.2%}", "-",
+    ])
+    return format_table(
+        [
+            "campaign", "seed", "injected", "corrected", "uncorrectable",
+            "RoW reads", "mis-verify rb", "rate", "oracle",
+        ],
+        rows,
+        title=(
+            "Mis-verify rate under injected faults "
+            "(paper band: <= 5.8% of RoW reads)"
+        ),
+    )
+
+
+def test_misverify(benchmark):
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("misverify", report)
+
+    total_rollbacks = 0
+    total_row_reads = 0
+    for spec, campaign in _run():
+        row = campaign["row"]
+        label = f"{spec.workload}/{spec.system}/seed{spec.seed}"
+        # Inside the paper's worst-case band, per campaign.
+        assert row["misverify_rate"] <= 0.058, label
+        # Differential oracle clean: every divergence ledger-accounted.
+        assert campaign["ok"], label
+        total_rollbacks += row["rollbacks_corrupted"]
+        total_row_reads += row["row_reads"]
+    # The fault chain is actually exercised: corrupted reconstructions
+    # were caught by the deferred verify somewhere in the suite.
+    assert total_row_reads > 300
+    assert total_rollbacks > 0

@@ -13,6 +13,8 @@ Commands::
         --out run.trace.json [--jsonl run.jsonl] [--buffer N]
     python -m repro stats --workload canneal --system rwow-rde [--json]
     python -m repro perf [--seed N] [--smoke] [--json] [--out FILE] [--check]
+    python -m repro faults [--workload W] [--system S] [--seed N] \\
+        [--smoke] [--json] [--out report.json] [--selftest] [--convergence]
 
 ``perf`` runs the tracked hot-path microbenchmark suite (codec, storage,
 engine dispatch, one end-to-end run) and emits the seed- and git-stamped
@@ -256,6 +258,95 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Seeded fault campaign / convergence check / oracle self-test."""
+    from repro.faults import (
+        DEFAULT_FAULTS,
+        FaultCampaignSpec,
+        FaultConfig,
+        cross_system_convergence,
+        oracle_selftest,
+        report_json,
+        run_campaign,
+    )
+    from repro.sim.results_io import atomic_write_text
+
+    if args.selftest:
+        report = oracle_selftest(seed=args.seed)
+        passed = report["passed"]
+    elif args.convergence:
+        report = cross_system_convergence(
+            workload=args.workload,
+            seed=args.seed,
+            target_requests=args.requests,
+        )
+        passed = report["converged"]
+    else:
+        fault = FaultConfig(
+            read_disturb_rate=(
+                DEFAULT_FAULTS.read_disturb_rate
+                if args.read_disturb is None else args.read_disturb
+            ),
+            write_fail_rate=(
+                DEFAULT_FAULTS.write_fail_rate
+                if args.write_fail is None else args.write_fail
+            ),
+            stuck_at_threshold=(
+                DEFAULT_FAULTS.stuck_at_threshold
+                if args.stuck_threshold is None else args.stuck_threshold
+            ),
+            stuck_cells_per_line=(
+                DEFAULT_FAULTS.stuck_cells_per_line
+                if args.stuck_cells is None else args.stuck_cells
+            ),
+        )
+        spec = FaultCampaignSpec(
+            workload=args.workload,
+            system=args.system,
+            seed=args.seed,
+            target_requests=2_000 if args.smoke else args.requests,
+            n_cores=args.cores,
+            fault=fault,
+        )
+        report = run_campaign(spec)
+        passed = report["ok"] and report["row"]["within_paper_band"]
+        if not args.json:
+            row = report["row"]
+            injected = report["injected"]
+            print(format_table(
+                ["metric", "value"],
+                [
+                    ["system / workload",
+                     f"{spec.system} / {spec.workload} (seed {spec.seed})"],
+                    ["faults injected",
+                     str(injected["read_disturb_injected"]
+                         + injected["write_fail_injected"]
+                         + injected["stuck_cells_activated"])],
+                    ["SECDED corrected", str(injected["corrected"])],
+                    ["detected uncorrectable",
+                     str(injected["detected_uncorrectable"])],
+                    ["silent", str(injected["silent"])],
+                    ["RoW reconstructed reads", str(row["row_reads"])],
+                    ["mis-verify rollbacks", str(row["rollbacks_corrupted"])],
+                    ["mis-verify rate",
+                     f"{row['misverify_rate']:.4f} "
+                     f"(paper ceiling {row['paper_ceiling']})"],
+                    ["oracle", "clean" if report["ok"] else
+                     f"{report['oracle']['violations']} VIOLATIONS"],
+                ],
+                title="fault campaign",
+            ))
+    if args.json:
+        print(report_json(report))
+    if args.out:
+        atomic_write_text(args.out, report_json(report) + "\n")
+        if not args.json:
+            print(f"wrote {args.out}")
+    if not args.json and (args.selftest or args.convergence):
+        print(report_json(report))
+    return 0 if passed else 1
+
+
 def cmd_gen_trace(args: argparse.Namespace) -> int:
     generator = SyntheticTraceGenerator(
         get_workload(args.workload), seed=args.seed
@@ -354,6 +445,34 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--check", action="store_true",
                         help="exit non-zero on gross hot-path regressions")
     perf_p.set_defaults(func=cmd_perf)
+
+    faults_p = sub.add_parser(
+        "faults",
+        help="seeded fault-injection campaign with differential oracle",
+    )
+    faults_p.add_argument("--workload", default="canneal")
+    faults_p.add_argument("--system", default="rwow-rde")
+    faults_p.add_argument("--read-disturb", type=float, default=None,
+                          help="per-read transient bit-flip probability")
+    faults_p.add_argument("--write-fail", type=float, default=None,
+                          help="per-committed-word bit-failure probability")
+    faults_p.add_argument("--stuck-threshold", type=int, default=None,
+                          help="writes per line before stuck-at cells appear")
+    faults_p.add_argument("--stuck-cells", type=int, default=None,
+                          help="stuck cells per worn-out line")
+    faults_p.add_argument("--smoke", action="store_true",
+                          help="small CI budget (2000 requests)")
+    faults_p.add_argument("--json", action="store_true",
+                          help="emit the full campaign report as JSON")
+    faults_p.add_argument("--out", help="also write the JSON report here")
+    faults_p.add_argument("--selftest", action="store_true",
+                          help="plant an untracked corruption; the oracle "
+                               "must detect it")
+    faults_p.add_argument("--convergence", action="store_true",
+                          help="all six systems must reach identical "
+                               "end-state (faults off)")
+    add_common(faults_p)
+    faults_p.set_defaults(func=cmd_faults)
 
     gen_p = sub.add_parser("gen-trace", help="export a synthetic trace file")
     gen_p.add_argument("--workload", required=True)

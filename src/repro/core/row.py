@@ -56,6 +56,7 @@ class ReadOverWritePolicy(BaseSchedulerPolicy):
         self._m_reads = metrics.counter("row.reads")
         self._m_overlap = metrics.counter("row.overlap_reads")
         self._m_rollbacks = metrics.counter("rollbacks")
+        self._m_rollbacks_corrupted = metrics.counter("rollbacks.corrupted")
         self._m_verifications = metrics.counter("verifications")
         self._m_declined: Dict[str, object] = {}  # reason -> cached Counter
         # The currently open RoW window per rank (window, reads issued);
@@ -453,6 +454,10 @@ class ReadOverWritePolicy(BaseSchedulerPolicy):
             req.rolled_back = True
             c.stats.rollbacks += 1
             self._m_rollbacks.inc()
+            if corrupted:
+                # Real data corruption caught by the deferred verify, as
+                # opposed to the statistical consumed-early model.
+                self._m_rollbacks_corrupted.inc()
             if c.tracer.enabled:
                 c.tracer.emit(TraceEvent(
                     EventType.ROLLBACK,

@@ -1,0 +1,51 @@
+"""Fault injection and differential validation (PCM reliability).
+
+The subsystem has four layers:
+
+* :mod:`repro.faults.models` — deterministic, seedable fault models
+  (transient read disturb, wear-correlated stuck-at cells, write
+  failures) and their outcome taxonomy;
+* :mod:`repro.faults.storage` — :class:`FaultInjectingStorage`, a
+  drop-in :class:`~repro.memory.storage.MemoryStorage` that injects the
+  models at the array boundary and runs the controller-side SECDED
+  correct/detect/scrub pass on every line read;
+* :mod:`repro.faults.oracle` — the shadow golden-memory model and the
+  differential checks (per-read, end-of-run) that pin the simulated
+  array to it;
+* :mod:`repro.faults.campaign` — seeded end-to-end fault campaigns, the
+  cross-system convergence check and the oracle self-test behind the
+  ``repro faults`` CLI command and ``benchmarks/bench_misverify.py``.
+
+See docs/FAULTS.md for the model semantics and seed discipline.
+"""
+
+from repro.faults.campaign import (
+    DEFAULT_FAULTS,
+    FaultCampaignSpec,
+    cross_system_convergence,
+    oracle_selftest,
+    report_json,
+    run_campaign,
+)
+from repro.faults.models import FaultConfig, FaultCounters, StuckCell, derive_stuck_cells
+from repro.faults.oracle import DifferentialOracle, GoldenMemory
+from repro.faults.payload import WritePayloadAdapter, static_word
+from repro.faults.storage import FaultInjectingStorage
+
+__all__ = [
+    "DEFAULT_FAULTS",
+    "DifferentialOracle",
+    "FaultCampaignSpec",
+    "FaultConfig",
+    "FaultCounters",
+    "FaultInjectingStorage",
+    "GoldenMemory",
+    "StuckCell",
+    "WritePayloadAdapter",
+    "cross_system_convergence",
+    "derive_stuck_cells",
+    "oracle_selftest",
+    "report_json",
+    "run_campaign",
+    "static_word",
+]

@@ -1,0 +1,176 @@
+"""Deterministic, seedable PCM fault models.
+
+Three array-level error mechanisms from the PCM reliability literature
+(resistance drift / read disturb, endurance-driven stuck-at cells, and
+incomplete SET/RESET programming) are reduced to rate parameters that the
+:class:`~repro.faults.storage.FaultInjectingStorage` applies at the
+storage boundary:
+
+* **transient read disturb** — every ``read_line`` access flips one
+  random bit of one random slot (data word, SECDED byte, or PCC word)
+  with probability ``read_disturb_rate``.  The flip lands in the array
+  *after* the access that caused it, so it is observed — and normally
+  corrected — by the next read of the line.
+* **wear-correlated stuck-at cells** — once a line has absorbed
+  ``stuck_at_threshold`` committed writes (tracked with
+  :class:`repro.memory.wear.WearStats`), ``stuck_cells_per_line`` cells
+  become permanently stuck at a fixed value.  Which cells, and at which
+  value, is a pure function of ``(seed, line)`` — see
+  :func:`derive_stuck_cells` — so campaigns are bit-reproducible.
+* **write failure** — each committed word (and the PCC update) fails to
+  latch one random bit with probability ``write_fail_rate`` per word.
+
+Every fault is recorded in a ledger (the XOR distance of each slot from
+its *pristine* value — the value its SECDED byte was computed from), so
+read-time decodes can be classified exactly:
+
+* ``corrected`` — the SECDED decode returned the pristine word (the
+  array is scrubbed back to it);
+* ``detected_uncorrectable`` — a double error, flagged but not fixed;
+* ``silent`` — the decode reported clean or "corrected" to a value that
+  is *not* the pristine word (aliased multi-bit corruption).
+
+All randomness flows through one ``random.Random(seed)`` stream consumed
+in (deterministic) engine event order, plus the pure per-line stuck-cell
+derivation, so a campaign's full fault set is a function of its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Tuple
+
+from repro.memory.request import WORDS_PER_LINE
+
+#: Logical slot indices a fault can target: data words 0..7, then the
+#: SECDED byte lane (the ECC chip's word), then the PCC parity word.
+CHECK_SLOT = WORDS_PER_LINE       #: slot 8 — the SECDED check bytes
+PCC_SLOT = WORDS_PER_LINE + 1     #: slot 9 — the XOR parity word
+
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+_GOLDEN = 0x9E3779B97F4A7C15
+_WORD_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rate parameters of the three fault models (all off by default)."""
+
+    #: Probability per ``read_line`` access of one transient bit flip.
+    read_disturb_rate: float = 0.0
+    #: Probability per committed word (and per PCC update) of one
+    #: incompletely programmed bit.
+    write_fail_rate: float = 0.0
+    #: Committed writes to a line after which its stuck cells appear
+    #: (0 disables the stuck-at model).
+    stuck_at_threshold: int = 0
+    #: Cells that become stuck once the threshold is crossed.
+    stuck_cells_per_line: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_disturb_rate <= 1.0:
+            raise ValueError(
+                f"read disturb rate out of range: {self.read_disturb_rate}"
+            )
+        if not 0.0 <= self.write_fail_rate <= 1.0:
+            raise ValueError(
+                f"write fail rate out of range: {self.write_fail_rate}"
+            )
+        if self.stuck_at_threshold < 0:
+            raise ValueError("stuck-at threshold must be non-negative")
+        if self.stuck_cells_per_line < 1:
+            raise ValueError("stuck cells per line must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any model can actually inject a fault."""
+        return (
+            self.read_disturb_rate > 0.0
+            or self.write_fail_rate > 0.0
+            or self.stuck_at_threshold > 0
+        )
+
+    @classmethod
+    def disabled(cls) -> "FaultConfig":
+        """All models off — injection hooks become pass-throughs."""
+        return cls()
+
+    def as_dict(self) -> dict:
+        """JSON-safe echo of the configuration (campaign reports)."""
+        return asdict(self)
+
+
+@dataclass
+class FaultCounters:
+    """Injection and per-outcome accounting for one storage instance."""
+
+    read_disturb_injected: int = 0
+    write_fail_injected: int = 0
+    stuck_lines_activated: int = 0
+    stuck_cells_activated: int = 0
+    #: SECDED decode outcomes over fault-tracked words (one count per
+    #: observation: a persistent stuck cell is re-corrected — and
+    #: re-counted — on every read of its word).
+    corrected: int = 0
+    detected_uncorrectable: int = 0
+    silent: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class StuckCell:
+    """One permanently stuck bit of a line."""
+
+    slot: int    #: data word 0..7, CHECK_SLOT, or PCC_SLOT
+    bit: int     #: bit index within the slot's word
+    value: int   #: 0 (stuck-at-reset) or 1 (stuck-at-set)
+
+    def force(self, word: int) -> int:
+        """``word`` with this cell's bit forced to its stuck value."""
+        if self.value:
+            return word | (1 << self.bit)
+        return word & ~(1 << self.bit)
+
+
+def _mix64(value: int) -> int:
+    """splitmix64 finaliser — the same mixing the cold pattern uses."""
+    z = (value + _GOLDEN) & _WORD_MASK
+    z = ((z ^ (z >> 30)) * _MIX_1) & _WORD_MASK
+    z = ((z ^ (z >> 27)) * _MIX_2) & _WORD_MASK
+    return z ^ (z >> 31)
+
+
+def derive_stuck_cells(
+    seed: int,
+    line_address: int,
+    count: int,
+    include_pcc: bool,
+) -> Tuple[StuckCell, ...]:
+    """The stuck cells of ``line_address`` — a pure function of the seed.
+
+    Wear decides *when* cells get stuck (the write-count threshold);
+    this decides *which* cells, without any mutable state, so the same
+    seed always condemns the same cells regardless of access order.
+    Distinct derived cells are guaranteed (duplicates are re-mixed).
+    """
+    n_slots = (PCC_SLOT + 1) if include_pcc else CHECK_SLOT + 1
+    cells = []
+    taken = set()
+    stream = (seed & _WORD_MASK) ^ _mix64(line_address)
+    draw = 0
+    while len(cells) < count:
+        raw = _mix64(stream ^ (draw * 0x632BE59BD9B4E019))
+        draw += 1
+        slot = raw % n_slots
+        # Every slot is one chip's 64-bit word for the line; for the
+        # CHECK_SLOT lane, bit ``b`` lands in word ``b // 8``'s check
+        # byte at bit ``b % 8``.
+        bit = (raw >> 8) % 64
+        if (slot, bit) in taken:
+            continue
+        taken.add((slot, bit))
+        cells.append(StuckCell(slot=slot, bit=bit, value=(raw >> 32) & 1))
+    return tuple(cells)

@@ -28,7 +28,7 @@ wake-up at the earliest future time anything could start.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.memory.address import AddressMapper, DecodedAddress
 from repro.memory.bus import BusDirection, ChannelBus
@@ -111,6 +111,10 @@ class MemoryController:
         self._wake_time: Optional[int] = None
         self._open_windows: List[WriteWindow] = []
         self._in_kick = False
+        #: Optional observer called with each read request right after it
+        #: completes (differential-oracle wiring).  None in normal runs:
+        #: the completion path pays one attribute check.
+        self.read_completion_hook: Optional[Callable[[MemoryRequest], None]] = None
 
         # Always-on metrics: instruments are fetched once here so the hot
         # path pays attribute access + integer ops only.  The registry is
@@ -395,6 +399,8 @@ class MemoryController:
                 reason=req.service_class.value,
                 extra={"latency_ns": ticks_to_ns(req.effective_latency)},
             ))
+        if self.read_completion_hook is not None:
+            self.read_completion_hook(req)
         self._kick()
 
     # ==================================================================

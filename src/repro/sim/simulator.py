@@ -16,6 +16,7 @@ from repro.core.config import SystemConfig
 from repro.cpu.core import CoreParams
 from repro.cpu.multicore import Multicore
 from repro.memory.memsys import MainMemory
+from repro.memory.storage import MemoryStorage
 from repro.sim.engine import Engine
 from repro.sim.metrics import SimulationResult
 from repro.telemetry import RunProfile, Telemetry, WallClock
@@ -57,6 +58,7 @@ class SystemSimulator:
         workload: Union[str, WorkloadProfile],
         params: Optional[SimulationParams] = None,
         telemetry: Optional[Telemetry] = None,
+        storage: Optional["MemoryStorage"] = None,
     ):
         if isinstance(workload, str):
             workload = get_workload(workload)
@@ -75,7 +77,7 @@ class SystemSimulator:
         self.engine = Engine()
         self.memory = MainMemory(
             self.engine, system, seed=self.params.seed,
-            telemetry=self.telemetry,
+            storage=storage, telemetry=self.telemetry,
         )
         self.multicore = Multicore(
             self.engine,
@@ -139,6 +141,7 @@ def simulate(
     workload: Union[str, WorkloadProfile],
     params: Optional[SimulationParams] = None,
     telemetry: Optional[Telemetry] = None,
+    storage: Optional[MemoryStorage] = None,
 ) -> SimulationResult:
     """One-shot convenience: build, run, return the result."""
-    return SystemSimulator(system, workload, params, telemetry).run()
+    return SystemSimulator(system, workload, params, telemetry, storage).run()

@@ -1,5 +1,7 @@
 """Shared fixtures and helpers for the test suite."""
 
+import random
+import zlib
 from typing import List
 
 import pytest
@@ -8,6 +10,26 @@ from repro.core.systems import make_system
 from repro.memory.memsys import make_controller
 from repro.memory.request import MemoryRequest, make_read, make_write
 from repro.sim.engine import Engine
+
+try:  # Deterministic hypothesis runs: no random example order, no
+    # wall-clock deadline flakes; every rerun explores the same cases.
+    from hypothesis import settings
+
+    settings.register_profile("repro", derandomize=True, deadline=None)
+    settings.load_profile("repro")
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
+
+
+@pytest.fixture
+def seeded_rng(request) -> random.Random:
+    """Per-test deterministic RNG, seeded from the test's node id.
+
+    Fault and fuzz tests draw randomness from this instead of the global
+    ``random`` module, so a failing test replays identically regardless
+    of execution order or ``-k`` selection.
+    """
+    return random.Random(zlib.crc32(request.node.nodeid.encode()))
 
 
 class ControllerHarness:

@@ -1,0 +1,110 @@
+"""Fault-model primitives: config validation, stuck-cell derivation."""
+
+import pytest
+
+from repro.faults.models import (
+    CHECK_SLOT,
+    PCC_SLOT,
+    FaultConfig,
+    FaultCounters,
+    StuckCell,
+    derive_stuck_cells,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultConfig:
+    def test_disabled_by_default(self):
+        config = FaultConfig()
+        assert not config.enabled
+        assert FaultConfig.disabled() == config
+
+    def test_any_model_enables(self):
+        assert FaultConfig(read_disturb_rate=0.01).enabled
+        assert FaultConfig(write_fail_rate=0.01).enabled
+        assert FaultConfig(stuck_at_threshold=5).enabled
+
+    @pytest.mark.parametrize("kwargs", [
+        {"read_disturb_rate": -0.1},
+        {"read_disturb_rate": 1.5},
+        {"write_fail_rate": 2.0},
+        {"stuck_at_threshold": -1},
+        {"stuck_cells_per_line": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+    def test_as_dict_round_trip(self):
+        config = FaultConfig(read_disturb_rate=0.25, stuck_at_threshold=7)
+        assert FaultConfig(**config.as_dict()) == config
+
+
+class TestStuckCell:
+    def test_force_set(self):
+        cell = StuckCell(slot=0, bit=5, value=1)
+        assert cell.force(0) == 1 << 5
+        assert cell.force(0xFFFF) == 0xFFFF
+
+    def test_force_reset(self):
+        cell = StuckCell(slot=0, bit=5, value=0)
+        assert cell.force(1 << 5) == 0
+        assert cell.force(0xFF) == 0xDF
+
+
+class TestDeriveStuckCells:
+    def test_pure_function_of_seed_and_line(self):
+        a = derive_stuck_cells(7, 1234, 4, include_pcc=True)
+        b = derive_stuck_cells(7, 1234, 4, include_pcc=True)
+        assert a == b
+
+    def test_seed_sensitivity(self):
+        assert derive_stuck_cells(1, 99, 4, True) != derive_stuck_cells(2, 99, 4, True)
+
+    def test_line_sensitivity(self):
+        assert derive_stuck_cells(1, 98, 4, True) != derive_stuck_cells(1, 99, 4, True)
+
+    def test_distinct_cells(self):
+        cells = derive_stuck_cells(3, 42, 8, include_pcc=True)
+        assert len({(c.slot, c.bit) for c in cells}) == len(cells) == 8
+
+    def test_slot_ranges(self):
+        for line in range(50):
+            for cell in derive_stuck_cells(5, line, 3, include_pcc=True):
+                assert 0 <= cell.slot <= PCC_SLOT
+                assert 0 <= cell.bit < 64
+                assert cell.value in (0, 1)
+
+    def test_no_pcc_slot_without_pcc(self):
+        for line in range(200):
+            for cell in derive_stuck_cells(5, line, 3, include_pcc=False):
+                assert cell.slot <= CHECK_SLOT
+
+    def test_covers_all_slot_kinds(self):
+        # Over many lines the derivation must hit data, check and PCC
+        # slots — a biased mix would leave fault paths unexercised.
+        slots = {
+            kind: 0 for kind in ("data", "check", "pcc")
+        }
+        for line in range(300):
+            for cell in derive_stuck_cells(11, line, 2, include_pcc=True):
+                if cell.slot == PCC_SLOT:
+                    slots["pcc"] += 1
+                elif cell.slot == CHECK_SLOT:
+                    slots["check"] += 1
+                else:
+                    slots["data"] += 1
+        assert all(count > 0 for count in slots.values())
+
+
+def test_counters_as_dict():
+    counters = FaultCounters(corrected=3, silent=1)
+    data = counters.as_dict()
+    assert data["corrected"] == 3
+    assert data["silent"] == 1
+    assert set(data) == {
+        "read_disturb_injected", "write_fail_injected",
+        "stuck_lines_activated", "stuck_cells_activated",
+        "corrected", "detected_uncorrectable", "silent",
+    }
