@@ -1,8 +1,10 @@
 """Full perf suite: refreshes the committed BENCH_perf.json.
 
-Runs all four microbenchmarks at full budget, writes the seed- and
-git-stamped payload to ``benchmarks/results/BENCH_perf.json`` (the file
-tracked in version control), and applies the gross-regression gate.
+Runs every microbenchmark at full budget, writes the seed- and
+git-stamped payload — including the regression sentinel's pinned
+``metrics_fingerprint`` section — to ``benchmarks/results/BENCH_perf.json``
+(the file tracked in version control), and applies the gross-regression
+gate.
 """
 
 import json

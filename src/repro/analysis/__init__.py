@@ -1,10 +1,19 @@
 """Result analysis and report formatting for the benchmark harness."""
 
+from repro.analysis.htmlreport import (
+    render_report,
+    report_params,
+    write_report,
+)
 from repro.analysis.timeline import (
+    BarSeries,
+    LineSeries,
     occupancy_from_trace,
     occupancy_summary,
     render_occupancy,
     render_trace_occupancy,
+    svg_grouped_bars,
+    svg_line_chart,
 )
 from repro.analysis.report import (
     FigureSeries,
@@ -16,6 +25,13 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "render_report",
+    "report_params",
+    "write_report",
+    "BarSeries",
+    "LineSeries",
+    "svg_grouped_bars",
+    "svg_line_chart",
     "occupancy_from_trace",
     "occupancy_summary",
     "render_occupancy",

@@ -1,0 +1,485 @@
+"""Self-contained HTML run reports (``repro report``).
+
+One HTML file, zero external dependencies — styles inline, charts inline
+SVG (:mod:`repro.analysis.timeline` primitives), data tables embedded
+next to every chart.  The report covers a set of systems run on one
+workload with observability enabled (``collect_metrics=True`` plus a
+sampling cadence): per-system p50/p95/p99 read latency, time-series
+panels (outstanding reads, queue depths, write-engine occupancy, recent
+IRLP), fault/mis-verify counters and a side-by-side summary table.
+
+Color discipline (validated palette, see docs/TELEMETRY.md): systems keep
+a fixed categorical slot regardless of which subset is plotted, latency
+percentiles use an ordinal single-hue ramp, and every chart carries a
+legend plus an embedded table view.  Light and dark render from the same
+hues re-stepped per surface, switched by ``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.timeline import (
+    BarSeries,
+    LineSeries,
+    svg_grouped_bars,
+    svg_line_chart,
+)
+from repro.core.systems import COMPARATOR_SYSTEM_NAMES, SYSTEM_NAMES
+from repro.sim.engine import TICKS_PER_NS
+from repro.sim.metrics import SimulationResult
+from repro.sim.results_io import atomic_write_text, run_manifest
+from repro.telemetry.timeseries import DEFAULT_CADENCE_TICKS
+
+#: Validated categorical palette (light / dark are the same hues stepped
+#: per surface; slot order is the CVD-safety mechanism — never re-sort).
+LIGHT_SERIES = (
+    "#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+    "#e87ba4", "#008300", "#4a3aa7", "#e34948",
+)
+DARK_SERIES = (
+    "#3987e5", "#d95926", "#199e70", "#c98500",
+    "#d55181", "#008300", "#9085e9", "#e66767",
+)
+#: Ordinal single-hue (blue) ramp for p50 < p95 < p99 — magnitude of one
+#: measure, not three identities.
+LIGHT_ORDINAL = ("#86b6ef", "#2a78d6", "#104281")
+DARK_ORDINAL = ("#6da7ec", "#2a78d6", "#184f95")
+
+#: Fixed color-slot order: color follows the system, not its position in
+#: whatever subset a report happens to plot.
+_SLOT_ORDER: List[str] = SYSTEM_NAMES + COMPARATOR_SYSTEM_NAMES
+
+#: Counters surfaced in the fault/verification section (when present).
+_FAULT_COUNTERS = (
+    "rollbacks",
+    "rollbacks.corrupted",
+    "verifications",
+    "faults.injected.total",
+    "faults.outcome.corrected",
+    "faults.outcome.silent",
+)
+
+
+def system_slot(name: str) -> int:
+    """Stable categorical slot for a system name."""
+    if name in _SLOT_ORDER:
+        return _SLOT_ORDER.index(name)
+    # Unknown (ad-hoc) systems take slots after the known ones, by name.
+    return len(_SLOT_ORDER)
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _series_var(slot: int) -> str:
+    return f"var(--series-{slot % len(LIGHT_SERIES) + 1})"
+
+
+def _ticks_to_us(tick: float) -> float:
+    return tick / (TICKS_PER_NS * 1000.0)
+
+
+def _percentiles(result: SimulationResult) -> Dict[str, float]:
+    metrics = result.metrics or {}
+    latency = metrics.get("read.latency_ns")
+    if latency is None:
+        raise ValueError(
+            f"result {result.system_name!r} carries no read.latency_ns "
+            f"histogram — run with collect_metrics=True"
+        )
+    return {q: latency[q] for q in ("p50", "p95", "p99")}
+
+
+def _column(result: SimulationResult, name: str) -> List[float]:
+    assert result.timeseries is not None
+    return result.timeseries["columns"].get(name, [])
+
+
+def _summed_columns(result: SimulationResult, prefix: str, suffix: str) -> List[float]:
+    assert result.timeseries is not None
+    columns = [
+        values for name, values in result.timeseries["columns"].items()
+        if name.startswith(prefix) and name.endswith(suffix)
+    ]
+    if not columns:
+        return []
+    return [sum(sample) for sample in zip(*columns)]
+
+
+def _legend(entries: Sequence[tuple]) -> str:
+    items = "".join(
+        f'<span class="key"><span class="swatch" '
+        f'style="background:{color}"></span>{_esc(label)}</span>'
+        for label, color in entries
+    )
+    return f'<div class="legend">{items}</div>'
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(
+            f"<td>{_esc(cell)}</td>" for cell in row
+        ) + "</tr>"
+        for row in rows
+    )
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{body}</tbody></table>"
+    )
+
+
+def _details_table(
+    summary: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    return (
+        f"<details><summary>{_esc(summary)}</summary>"
+        f"{_table(headers, rows)}</details>"
+    )
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.{digits}f}"
+    return f"{int(value):,}"
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+def _latency_section(results: Sequence[SimulationResult]) -> str:
+    systems = [r.system_name for r in results]
+    pct = [_percentiles(r) for r in results]
+    series = [
+        BarSeries(
+            label=q,
+            color=f"var(--ordinal-{i + 1})",
+            values=[p[q] for p in pct],
+        )
+        for i, q in enumerate(("p50", "p95", "p99"))
+    ]
+    chart = svg_grouped_bars(
+        systems, series, y_label="read latency (ns)", label_series="p99",
+    )
+    legend = _legend([
+        (q, f"var(--ordinal-{i + 1})")
+        for i, q in enumerate(("p50", "p95", "p99"))
+    ])
+    rows = [
+        [s, _fmt(p["p50"]), _fmt(p["p95"]), _fmt(p["p99"]),
+         _fmt(r.memory.read_latency_max / TICKS_PER_NS)]
+        for s, p, r in zip(systems, pct, results)
+    ]
+    table = _details_table(
+        "Data table — read latency percentiles (ns)",
+        ["system", "p50", "p95", "p99", "max"],
+        rows,
+    )
+    return (
+        "<section><h2>Read latency percentiles</h2>"
+        "<p>Distributional view of effective read latency per system "
+        "(bucketed histogram; p-values clamp to the exact observed "
+        "min/max).</p>"
+        f"{legend}{chart}{table}</section>"
+    )
+
+
+def _timeseries_panel(
+    title: str,
+    description: str,
+    results: Sequence[SimulationResult],
+    extract,
+    y_label: str,
+) -> str:
+    series: List[LineSeries] = []
+    table_rows: List[List[object]] = []
+    for result in results:
+        values = extract(result)
+        if not values:
+            continue
+        ticks = result.timeseries["ticks"]
+        points = [
+            (_ticks_to_us(t), v) for t, v in zip(ticks, values)
+        ]
+        series.append(LineSeries(
+            label=result.system_name,
+            color=_series_var(system_slot(result.system_name)),
+            points=points,
+        ))
+        table_rows.append([
+            result.system_name,
+            len(values),
+            _fmt(max(values)),
+            _fmt(sum(values) / len(values)),
+        ])
+    chart = svg_line_chart(series, y_label=y_label, x_label="simulated time (µs)")
+    table = _details_table(
+        f"Data table — {title.lower()} (per-system summary)",
+        ["system", "samples", "max", "mean"],
+        table_rows,
+    )
+    return (
+        f"<div class='panel'><h3>{_esc(title)}</h3>"
+        f"<p>{_esc(description)}</p>{chart}{table}</div>"
+    )
+
+
+def _timeseries_section(results: Sequence[SimulationResult]) -> str:
+    sampled = [r for r in results if r.timeseries is not None]
+    if not sampled:
+        return (
+            "<section><h2>Time series</h2><p>(no sampled runs — enable "
+            "a sampling cadence to populate this section)</p></section>"
+        )
+    legend = _legend([
+        (r.system_name, _series_var(system_slot(r.system_name)))
+        for r in sampled
+    ])
+    panels = [
+        _timeseries_panel(
+            "Outstanding reads",
+            "Reads enqueued but not yet completed, sampled on the cadence.",
+            sampled,
+            lambda r: _column(r, "reads.outstanding"),
+            "outstanding reads",
+        ),
+        _timeseries_panel(
+            "Write queue depth",
+            "Queued write-backs summed across all four channels; drain "
+            "episodes show as sawtooth ramps.",
+            sampled,
+            lambda r: _summed_columns(r, "ch", ".queue.write.depth"),
+            "queued writes",
+        ),
+        _timeseries_panel(
+            "Write-engine occupancy",
+            "In-flight fine-grained writes across channels (coarse "
+            "systems report 0).",
+            sampled,
+            lambda r: _column(r, "write_engine.inflight"),
+            "in-flight writes",
+        ),
+        _timeseries_panel(
+            "Recent IRLP",
+            "Mean intra-rank-level parallelism over each channel's most "
+            "recent write windows.",
+            sampled,
+            lambda r: _column(r, "irlp.recent"),
+            "IRLP",
+        ),
+    ]
+    return (
+        "<section><h2>Time series</h2>"
+        f"{legend}{''.join(panels)}</section>"
+    )
+
+
+def _counters_section(results: Sequence[SimulationResult]) -> str:
+    systems = [r.system_name for r in results]
+    rows = []
+    for name in _FAULT_COUNTERS:
+        values = [
+            (r.metrics or {}).get(name, {}).get("value", 0) for r in results
+        ]
+        if any(values):
+            rows.append([name] + [_fmt(v) for v in values])
+    if not rows:
+        rows = [["(no fault/verification activity recorded)"] + [""] * len(systems)]
+    return (
+        "<section><h2>Fault &amp; verification counters</h2>"
+        "<p>RoW mis-verify rollbacks and injected-fault outcomes, "
+        "end-of-run totals.</p>"
+        + _table(["counter"] + systems, rows)
+        + "</section>"
+    )
+
+
+def _summary_section(results: Sequence[SimulationResult]) -> str:
+    rows = []
+    for r in results:
+        pct = _percentiles(r)
+        rows.append([
+            r.system_name,
+            f"{r.ipc:.3f}",
+            f"{r.mean_read_latency_ns:.1f}",
+            _fmt(pct["p95"]),
+            f"{r.memory.delayed_read_fraction * 100:.1f}%",
+            _fmt(r.memory.reads_completed),
+            _fmt(r.memory.writes_completed),
+            f"{r.irlp_average:.2f}",
+            _fmt(r.memory.rollbacks),
+        ])
+    return (
+        "<section><h2>Run summary</h2>"
+        + _table(
+            ["system", "IPC", "mean read ns", "p95 read ns",
+             "delayed reads", "reads", "writes", "IRLP avg", "rollbacks"],
+            rows,
+        )
+        + "</section>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Document assembly
+# ----------------------------------------------------------------------
+def _css() -> str:
+    light_series = "".join(
+        f"--series-{i + 1}:{hex_};" for i, hex_ in enumerate(LIGHT_SERIES)
+    )
+    dark_series = "".join(
+        f"--series-{i + 1}:{hex_};" for i, hex_ in enumerate(DARK_SERIES)
+    )
+    light_ordinal = "".join(
+        f"--ordinal-{i + 1}:{hex_};" for i, hex_ in enumerate(LIGHT_ORDINAL)
+    )
+    dark_ordinal = "".join(
+        f"--ordinal-{i + 1}:{hex_};" for i, hex_ in enumerate(DARK_ORDINAL)
+    )
+    return f"""
+:root {{
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --muted: #898781; --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  {light_series}{light_ordinal}
+}}
+@media (prefers-color-scheme: dark) {{
+  :root {{
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --muted: #898781; --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    {dark_series}{dark_ordinal}
+  }}
+}}
+body {{
+  margin: 0 auto; max-width: 880px; padding: 24px 16px 64px;
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}}
+h1 {{ font-size: 22px; margin: 0 0 4px; }}
+h2 {{ font-size: 17px; margin: 32px 0 4px; }}
+h3 {{ font-size: 14px; margin: 20px 0 2px; }}
+p {{ color: var(--text-secondary); margin: 2px 0 10px; }}
+section, .panel {{ margin-bottom: 8px; }}
+.manifest {{ color: var(--muted); font-size: 12px; }}
+svg.chart {{
+  width: 100%; height: auto; display: block;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px;
+}}
+svg.chart .grid {{ stroke: var(--grid); stroke-width: 1; }}
+svg.chart .axis {{ stroke: var(--baseline); stroke-width: 1; }}
+svg.chart text {{
+  font: 11px system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-variant-numeric: tabular-nums;
+}}
+svg.chart .tick {{ fill: var(--muted); }}
+svg.chart .direct {{ fill: var(--text-secondary); }}
+.legend {{ margin: 6px 0; }}
+.legend .key {{
+  display: inline-flex; align-items: center; gap: 6px;
+  margin-right: 14px; color: var(--text-secondary); font-size: 12px;
+}}
+.legend .swatch {{
+  width: 10px; height: 10px; border-radius: 2px; display: inline-block;
+}}
+table {{
+  border-collapse: collapse; margin: 8px 0; font-size: 12px;
+  font-variant-numeric: tabular-nums;
+}}
+th, td {{
+  border-bottom: 1px solid var(--grid); padding: 3px 10px 3px 0;
+  text-align: right;
+}}
+th:first-child, td:first-child {{ text-align: left; }}
+th {{ color: var(--muted); font-weight: 600; }}
+details summary {{
+  cursor: pointer; color: var(--muted); font-size: 12px; margin-top: 4px;
+}}
+"""
+
+
+def render_report(
+    results: Sequence[SimulationResult],
+    title: str = "PCMap run report",
+) -> str:
+    """Render one self-contained HTML document for ``results``.
+
+    Results must carry embedded metrics (``collect_metrics=True``); the
+    time-series section additionally needs a sampling cadence.
+    """
+    if not results:
+        raise ValueError("render_report needs at least one result")
+    for result in results:
+        if result.metrics is None:
+            raise ValueError(
+                f"result {result.system_name!r} has no embedded metrics; "
+                f"run with collect_metrics=True"
+            )
+    manifest = run_manifest(results[0].seed)
+    workloads = sorted({r.workload_name for r in results})
+    cadence = next(
+        (r.timeseries["cadence_ticks"] for r in results
+         if r.timeseries is not None),
+        None,
+    )
+    manifest_line = (
+        f"workload {', '.join(workloads)} · seed {results[0].seed} · "
+        f"code {manifest['code_version']} · "
+        f"python {manifest['python']} · {manifest['platform']}"
+    )
+    if cadence is not None:
+        manifest_line += f" · sampling every {cadence} ticks"
+    body = "".join([
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="manifest">{_esc(manifest_line)}</p>',
+        _summary_section(results),
+        _latency_section(results),
+        _timeseries_section(results),
+        _counters_section(results),
+    ])
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<style>{_css()}</style></head>\n"
+        f"<body>{body}</body></html>\n"
+    )
+
+
+def write_report(
+    path: Union[str, Path],
+    results: Sequence[SimulationResult],
+    title: str = "PCMap run report",
+) -> Path:
+    """Render and atomically write the report; returns the path."""
+    path = Path(path)
+    atomic_write_text(path, render_report(results, title=title))
+    return path
+
+
+def report_params(
+    target_requests: int = 3000,
+    n_cores: int = 8,
+    seed: int = 7,
+    sample_every_ticks: Optional[int] = DEFAULT_CADENCE_TICKS,
+):
+    """Observability-enabled :class:`SimulationParams` for report runs."""
+    from repro.sim.simulator import SimulationParams
+
+    return SimulationParams(
+        n_cores=n_cores,
+        target_requests=target_requests,
+        seed=seed,
+        sample_every_ticks=sample_every_ticks,
+        collect_metrics=True,
+    )

@@ -11,23 +11,36 @@ Commands::
     python -m repro gen-trace --workload MP1 --count 1000 --out mp1.trace
     python -m repro trace --workload canneal --system rwow-rde \\
         --out run.trace.json [--jsonl run.jsonl] [--buffer N]
-    python -m repro stats --workload canneal --system rwow-rde [--json]
+    python -m repro stats --workload canneal --system rwow-rde \\
+        [--format table|json|openmetrics]
+    python -m repro metrics --workload canneal --system rwow-rde \\
+        [--out FILE] [--timeseries FILE.jsonl] [--cadence TICKS]
+    python -m repro report --out report.html [--workload W] [--systems ...] \\
+        [--requests N] [--jobs N]
+    python -m repro regress [--smoke] [--update] [--selftest] \\
+        [--baseline FILE]
     python -m repro perf [--seed N] [--smoke] [--json] [--out FILE] [--check]
     python -m repro faults [--workload W] [--system S] [--seed N] \\
         [--smoke] [--json] [--out report.json] [--selftest] [--convergence]
 
 ``perf`` runs the tracked hot-path microbenchmark suite (codec, storage,
-engine dispatch, one end-to-end run) and emits the seed- and git-stamped
-``BENCH_perf.json`` payload; ``--check`` exits non-zero on gross
-(machine-independent) regressions and ``REPRO_PERF_SMOKE=1`` (or
-``--smoke``) shrinks the budgets for CI.  See docs/PERFORMANCE.md.
+engine dispatch, one end-to-end run, sampling overhead) and emits the
+seed- and git-stamped ``BENCH_perf.json`` payload; ``--check`` exits
+non-zero on gross (machine-independent) regressions and
+``REPRO_PERF_SMOKE=1`` (or ``--smoke``) shrinks the budgets for CI.  See
+docs/PERFORMANCE.md.
 
 ``trace`` records the structured telemetry events of one run and exports
 them as a Chrome trace (open in ``chrome://tracing`` or Perfetto; chips
 appear as per-rank threads), optionally alongside the raw JSONL event
 stream.  ``stats`` runs one simulation with the always-on metrics
-registry and dumps every counter/gauge/histogram — ``--json`` for tools,
-a table for humans.  See docs/TELEMETRY.md for the event taxonomy.
+registry and dumps every counter/gauge/histogram — a table for humans,
+``--format json|openmetrics`` for tools.  ``metrics`` runs with the
+time-series sampler on and emits lint-clean OpenMetrics text (plus an
+optional JSONL time-series).  ``report`` renders the self-contained HTML
+run report, ``regress`` diffs a fresh reference run against the metrics
+fingerprint pinned in ``BENCH_perf.json`` and exits non-zero on breach.
+See docs/TELEMETRY.md.
 """
 
 from __future__ import annotations
@@ -48,6 +61,7 @@ from repro.sim.experiment import compare_systems, run_workload, sweep_workloads
 from repro.sim.runner import ResultCache, SweepProgress
 from repro.sim.simulator import SimulationParams
 from repro.telemetry import (
+    DEFAULT_CADENCE_TICKS,
     JsonlSink,
     RingBufferSink,
     Telemetry,
@@ -206,17 +220,24 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     """Run once and dump the full metrics registry."""
+    from repro.telemetry import to_openmetrics
+
     telemetry = Telemetry.disabled()
     result = run_workload(args.workload, args.system, _params(args), telemetry)
     dump = telemetry.metrics.as_dict()
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         print(json.dumps(dump, indent=1))
+        return 0
+    if fmt == "openmetrics":
+        sys.stdout.write(to_openmetrics(dump))
         return 0
     rows = []
     for name, data in dump.items():
         if data["type"] == "histogram":
             value = (f"count={data['count']} mean={data['mean']:.1f} "
-                     f"max={data['max']}")
+                     f"p50={data['p50']} p95={data['p95']} "
+                     f"p99={data['p99']} max={data['max']}")
         elif data["type"] == "gauge":
             value = f"{data['value']} (max {data['max']})"
         else:
@@ -229,6 +250,111 @@ def cmd_stats(args: argparse.Namespace) -> int:
                        title="metrics registry"))
     if result.profile is not None:
         print(f"\n{result.profile.summary()}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run once with sampling on; emit lint-clean OpenMetrics text."""
+    from repro.sim.results_io import atomic_write_text
+    from repro.telemetry import (
+        lint_openmetrics,
+        timeseries_to_jsonl,
+        to_openmetrics,
+    )
+
+    params = SimulationParams(
+        target_requests=args.requests,
+        seed=args.seed,
+        n_cores=args.cores,
+        sample_every_ticks=args.cadence,
+        collect_metrics=True,
+    )
+    result = run_workload(args.workload, args.system, params)
+    text = to_openmetrics(result.metrics)
+    problems = lint_openmetrics(text)
+    if problems:
+        for problem in problems:
+            print(f"OPENMETRICS LINT FAILED: {problem}", file=sys.stderr)
+        return 1
+    if args.out:
+        atomic_write_text(args.out, text)
+        families = sum(1 for line in text.splitlines()
+                       if line.startswith("# TYPE"))
+        print(f"wrote {families} metric families to {args.out} "
+              f"({args.workload} on {args.system}, seed {args.seed})")
+    else:
+        sys.stdout.write(text)
+    if args.timeseries:
+        jsonl = timeseries_to_jsonl(result.timeseries)
+        atomic_write_text(args.timeseries, jsonl)
+        print(f"wrote {len(jsonl.splitlines())} time-series samples to "
+              f"{args.timeseries}",
+              file=sys.stdout if args.out else sys.stderr)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Simulate the requested systems and render the HTML run report."""
+    from repro.analysis import report_params, write_report
+    from repro.sim.runner import run_pairs
+
+    systems = args.systems.split(",") if args.systems else list(SYSTEM_NAMES)
+    params = report_params(
+        target_requests=args.requests, n_cores=args.cores, seed=args.seed
+    )
+    results = run_pairs(
+        [(args.workload, system) for system in systems],
+        params,
+        jobs=args.jobs,
+    )
+    title = args.title or f"PCMap run report — {args.workload}"
+    path = write_report(args.out, results, title=title)
+    print(f"wrote {path} ({len(results)} systems on {args.workload}, "
+          f"{args.requests} requests, seed {args.seed})")
+    return 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    """Diff a fresh reference run against the pinned metrics fingerprint."""
+    from repro.analysis.regress import (
+        FINGERPRINT_SEED,
+        collect_fingerprint,
+        compare_fingerprints,
+        format_comparison,
+        load_baseline,
+        selftest,
+        update_baseline,
+    )
+    from repro.perf.suites import default_output_path
+
+    path = args.baseline or default_output_path()
+    if args.selftest:
+        failures = selftest()
+        if failures:
+            for failure in failures:
+                print(f"REGRESS SELFTEST FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("regress selftest passed (planted regressions were detected)")
+        return 0
+    if args.update:
+        pinned = update_baseline(path)
+        print(f"pinned metrics fingerprint "
+              f"({', '.join(sorted(pinned))} budgets) in {path}")
+        return 0
+    try:
+        baseline = load_baseline(path, smoke=args.smoke)
+    except (OSError, ValueError) as exc:
+        print(f"REGRESS: {exc}", file=sys.stderr)
+        return 1
+    seed = baseline.get("config", {}).get("seed", FINGERPRINT_SEED)
+    current = collect_fingerprint(smoke=args.smoke, seed=seed)
+    breaches = compare_fingerprints(baseline, current)
+    print(format_comparison(baseline, current, breaches))
+    if breaches:
+        for breach in breaches:
+            print(f"REGRESS BREACH: {breach}", file=sys.stderr)
+        return 1
+    print("regression sentinel: no breaches")
     return 0
 
 
@@ -428,9 +554,71 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("--workload", required=True)
     stats_p.add_argument("--system", default="rwow-rde")
     stats_p.add_argument("--json", action="store_true",
-                         help="emit the registry as JSON")
+                         help="emit the registry as JSON "
+                              "(alias for --format json)")
+    stats_p.add_argument("--format", choices=["table", "json", "openmetrics"],
+                         default="table",
+                         help="output format (default: table)")
     add_common(stats_p)
     stats_p.set_defaults(func=cmd_stats)
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="run once with sampling on; emit OpenMetrics text",
+    )
+    metrics_p.add_argument("--workload", default="canneal")
+    metrics_p.add_argument("--system", default="rwow-rde")
+    metrics_p.add_argument("--cadence", type=int,
+                           default=DEFAULT_CADENCE_TICKS,
+                           help="time-series sample cadence in simulated "
+                                f"ticks (default: {DEFAULT_CADENCE_TICKS})")
+    metrics_p.add_argument("--out",
+                           help="write the OpenMetrics text here instead "
+                                "of stdout")
+    metrics_p.add_argument("--timeseries",
+                           help="also write the sampled time-series as "
+                                "JSONL to this file")
+    add_common(metrics_p)
+    metrics_p.set_defaults(func=cmd_metrics)
+
+    report_p = sub.add_parser(
+        "report",
+        help="render the self-contained HTML run report",
+    )
+    report_p.add_argument("--out", required=True,
+                          help="HTML output path")
+    report_p.add_argument("--workload", default="canneal")
+    report_p.add_argument(
+        "--systems",
+        help="comma-separated system names (default: all six paper systems)",
+    )
+    report_p.add_argument("--requests", type=int, default=3_000,
+                          help="main-memory requests per system")
+    report_p.add_argument("--seed", type=int, default=7)
+    report_p.add_argument("--cores", type=int, default=8)
+    report_p.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                          help="worker processes (default: all cores)")
+    report_p.add_argument("--title", help="report title")
+    report_p.set_defaults(func=cmd_report)
+
+    regress_p = sub.add_parser(
+        "regress",
+        help="diff a reference run against the pinned metrics fingerprint",
+    )
+    regress_p.add_argument("--baseline",
+                           help="BENCH_perf.json holding the pinned "
+                                "fingerprint (default: the committed one)")
+    regress_p.add_argument("--smoke", action="store_true",
+                           help="use the smoke-budget fingerprint (CI)")
+    regress_p.add_argument("--update", action="store_true",
+                           help="re-pin both budget fingerprints and exit")
+    regress_p.add_argument("--selftest", action="store_true",
+                           help="plant a regression; the sentinel must "
+                                "detect it")
+    regress_p.add_argument("--check", action="store_true",
+                           help="alias for the default compare mode "
+                                "(symmetry with `repro perf --check`)")
+    regress_p.set_defaults(func=cmd_regress)
 
     perf_p = sub.add_parser(
         "perf", help="run the tracked hot-path microbenchmark suite"

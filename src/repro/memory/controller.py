@@ -193,6 +193,11 @@ class MemoryController:
         """True when both queues are empty (no pending work)."""
         return self.read_q.empty and self.write_q.empty
 
+    @property
+    def open_window_count(self) -> int:
+        """Write windows currently open (time-series sampler probe)."""
+        return len(self._open_windows)
+
     # ==================================================================
     # Scheduling loop
     # ==================================================================

@@ -1,9 +1,11 @@
 """Tracked microbenchmarks for the functional simulation hot paths.
 
-The suite times the four layers the hot-path optimisation work targets —
-the SECDED codec, the functional backing store, the event-engine dispatch
-loop, and one end-to-end ``rwow-rde`` run — and emits a seed- and
-git-stamped ``BENCH_perf.json`` so revisions stay comparable.
+The suite times the layers the hot-path optimisation work targets — the
+SECDED codec, the functional backing store, the event-engine dispatch
+loop, one end-to-end ``rwow-rde`` run, and the time-series sampler's
+overhead on that run — and emits a seed- and git-stamped
+``BENCH_perf.json`` (including the regression sentinel's pinned
+``metrics_fingerprint`` section) so revisions stay comparable.
 
 Entry points: the ``repro perf`` CLI command and the thin wrappers in
 ``benchmarks/perf/``.  See docs/PERFORMANCE.md for the workflow.
@@ -13,10 +15,12 @@ from repro.perf.microbench import BenchReport, time_call
 from repro.perf.suites import (
     PRE_PR_BASELINE,
     SCHEMA_VERSION,
+    TIMESERIES_OVERHEAD_CEILING,
     bench_codec,
     bench_end_to_end,
     bench_engine_dispatch,
     bench_storage,
+    bench_timeseries,
     check_payload,
     format_payload,
     run_suite,
@@ -26,10 +30,12 @@ __all__ = [
     "BenchReport",
     "PRE_PR_BASELINE",
     "SCHEMA_VERSION",
+    "TIMESERIES_OVERHEAD_CEILING",
     "bench_codec",
     "bench_end_to_end",
     "bench_engine_dispatch",
     "bench_storage",
+    "bench_timeseries",
     "check_payload",
     "format_payload",
     "run_suite",

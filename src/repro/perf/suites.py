@@ -1,4 +1,4 @@
-"""The four hot-path microbenchmarks and the suite assembler.
+"""The hot-path microbenchmarks and the suite assembler.
 
 Each ``bench_*`` function returns a :class:`~repro.perf.microbench.BenchReport`
 whose ``config`` is a pure function of ``(seed, smoke)`` — the determinism
@@ -246,10 +246,74 @@ def bench_end_to_end(seed: int, smoke: bool = False) -> BenchReport:
 
 
 # ----------------------------------------------------------------------
+# Time-series sampling overhead: the same run, telemetry off vs on
+# ----------------------------------------------------------------------
+def bench_timeseries(seed: int, smoke: bool = False) -> BenchReport:
+    """Cost of enabling the time-series sampler at its default cadence.
+
+    Runs the end-to-end configuration twice — once plain, once with
+    ``sample_every_ticks`` + ``collect_metrics`` — and reports the wall
+    ratio.  ``samples`` is the deterministic sample count, so the
+    determinism test pins the sampler's cadence behaviour for free.  The
+    ``overhead_ratio`` ceiling is gated in :func:`check_payload` at full
+    budgets only; smoke runs are too short for a stable ratio.
+    """
+    from repro.core.systems import make_rwow_rde
+    from repro.sim.simulator import SimulationParams, simulate
+    from repro.telemetry.timeseries import DEFAULT_CADENCE_TICKS
+
+    target_requests = 600 if smoke else 3000
+    repeats = 2 if smoke else 3
+    plain = SimulationParams(target_requests=target_requests, seed=seed)
+    observed = SimulationParams(
+        target_requests=target_requests,
+        seed=seed,
+        sample_every_ticks=DEFAULT_CADENCE_TICKS,
+        collect_metrics=True,
+    )
+    samples: Dict[str, int] = {}
+
+    def run_off() -> None:
+        simulate(make_rwow_rde(), "canneal", plain)
+
+    def run_on() -> None:
+        result = simulate(make_rwow_rde(), "canneal", observed)
+        samples["taken"] = result.timeseries["total_samples"]
+
+    wall_off = time_call(run_off, repeats)
+    wall_on = time_call(run_on, repeats)
+    return BenchReport(
+        name="timeseries",
+        config={
+            "system": "rwow-rde",
+            "workload": "canneal",
+            "target_requests": target_requests,
+            "cadence_ticks": DEFAULT_CADENCE_TICKS,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        metrics={
+            "wall_off_seconds": wall_off,
+            "wall_on_seconds": wall_on,
+            "overhead_ratio": wall_on / wall_off,
+            "samples": float(samples["taken"]),
+        },
+    )
+
+
+#: Ceiling for the sampling overhead ratio at full budgets.  The issue
+#: budget is 5%; the gate sits higher so timer noise on a loaded CI box
+#: cannot flake it, while a hot-path mistake (sampling per event instead
+#: of per boundary) still trips it instantly.
+TIMESERIES_OVERHEAD_CEILING = 1.15
+
+
+# ----------------------------------------------------------------------
 # Suite assembly
 # ----------------------------------------------------------------------
 def run_suite(seed: int = 7, smoke: bool = False) -> dict:
-    """Run all four benchmarks; returns the ``BENCH_perf.json`` payload."""
+    """Run all five benchmarks; returns the ``BENCH_perf.json`` payload."""
+    from repro.analysis.regress import collect_fingerprint
     from repro.sim.results_io import code_version
 
     reports = [
@@ -257,7 +321,15 @@ def run_suite(seed: int = 7, smoke: bool = False) -> dict:
         bench_storage(seed, smoke),
         bench_engine_dispatch(seed, smoke),
         bench_end_to_end(seed, smoke),
+        bench_timeseries(seed, smoke),
     ]
+    # Deterministic (non-timing) metrics of the reference run — the
+    # regression sentinel's pinned baseline.  Smoke suites pin only the
+    # smoke budget; the committed full run pins both so CI can diff
+    # cheaply against either.
+    fingerprints = {"smoke": collect_fingerprint(smoke=True, seed=seed)}
+    if not smoke:
+        fingerprints["full"] = collect_fingerprint(smoke=False, seed=seed)
     by_name = {report.name: report for report in reports}
     speedups: Dict[str, float] = {
         "codec.encode_vs_reference":
@@ -297,6 +369,7 @@ def run_suite(seed: int = 7, smoke: bool = False) -> dict:
         "baseline": PRE_PR_BASELINE,
         "benchmarks": [report.to_dict() for report in reports],
         "speedups": {k: speedups[k] for k in sorted(speedups)},
+        "metrics_fingerprint": fingerprints,
     }
 
 
@@ -332,6 +405,14 @@ def check_payload(payload: dict) -> List[str]:
                 failures.append(
                     f"benchmark {report['name']!r} metric {metric!r} "
                     f"is non-positive ({value})"
+                )
+        if report.get("name") == "timeseries" and not payload.get("smoke"):
+            ratio = report.get("metrics", {}).get("overhead_ratio")
+            if ratio is not None and ratio > TIMESERIES_OVERHEAD_CEILING:
+                failures.append(
+                    f"timeseries overhead_ratio = {ratio:.3f}, above the "
+                    f"{TIMESERIES_OVERHEAD_CEILING}x ceiling (sampling is "
+                    "supposed to be off the hot path)"
                 )
     return failures
 

@@ -51,6 +51,14 @@ class WriteWindow:
     service_end: int = -1
     #: (chip, start, end) data-word activity intervals.
     activities: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Memoised ``irlp()`` result: ((start, end, len(activities)), value).
+    #: Activities only ever append and the span only moves via the
+    #: mutators below, so that triple is a complete mutation stamp; the
+    #: time-series sampler re-reads recent windows every cadence tick and
+    #: would otherwise re-run the interval sweep on unchanged windows.
+    _irlp_cache: Optional[Tuple[Tuple[int, int, int], float]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def add_activity(self, chip: int, start: int, end: int) -> None:
         """Record data-word array work on ``chip`` over [start, end)."""
@@ -95,6 +103,9 @@ class WriteWindow:
         """
         if self.duration <= 0:
             return 0.0
+        stamp = (self.start, self.end, len(self.activities))
+        if self._irlp_cache is not None and self._irlp_cache[0] == stamp:
+            return self._irlp_cache[1]
         per_chip: Dict[int, List[Tuple[int, int]]] = {}
         for chip, start, end in self.activities:
             clipped = (max(start, self.start), min(end, self.end))
@@ -115,7 +126,9 @@ class WriteWindow:
             count += delta
             previous = time
         busy += min(count, MAX_IRLP) * (self.end - previous)
-        return busy / self.duration
+        value = busy / self.duration
+        self._irlp_cache = (stamp, value)
+        return value
 
 
 class IrlpRecorder:
@@ -279,6 +292,12 @@ class SimulationResult:
     #: Engine profile (events dispatched, wall seconds); populated by
     #: :class:`repro.sim.simulator.SystemSimulator`, never persisted.
     profile: Optional["RunProfile"] = None
+    #: JSON-safe :meth:`MetricsRegistry.as_dict` dump, embedded when the
+    #: run was launched with ``collect_metrics=True``; ``None`` otherwise.
+    metrics: Optional[dict] = None
+    #: JSON-safe :meth:`TimeSeries.as_dict` dump, embedded when the run
+    #: sampled (``sample_every_ticks`` set); ``None`` otherwise.
+    timeseries: Optional[dict] = None
 
     @property
     def ipc(self) -> float:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform as platform_module
 import subprocess
 import tempfile
 from dataclasses import asdict
@@ -18,7 +19,12 @@ from typing import List, Union
 
 from repro.sim.metrics import MemoryStats, SimulationResult
 
-SCHEMA_VERSION = 1
+#: Schema 2 added the run manifest and the optional embedded
+#: ``metrics``/``timeseries`` sections; schema-1 files still load.
+SCHEMA_VERSION = 2
+
+#: Older schemas :func:`result_from_dict` still accepts.
+READABLE_SCHEMAS = (1, 2)
 
 _CODE_VERSION: Union[str, None] = None
 
@@ -50,6 +56,17 @@ def code_version() -> str:
     return _CODE_VERSION
 
 
+def run_manifest(seed: int = -1) -> dict:
+    """Attribution header for a persisted run: where did this number
+    come from?  Seed, code state, interpreter and host platform."""
+    return {
+        "seed": seed,
+        "code_version": code_version(),
+        "python": platform_module.python_version(),
+        "platform": platform_module.platform(),
+    }
+
+
 def result_to_dict(result: SimulationResult) -> dict:
     """Flatten one result (including its memory stats) to JSON-safe data."""
     memory = asdict(result.memory)
@@ -58,13 +75,14 @@ def result_to_dict(result: SimulationResult) -> dict:
         str(chip): count
         for chip, count in result.memory.chip_word_writes.items()
     }
-    return {
+    payload = {
         "schema": SCHEMA_VERSION,
         "system": result.system_name,
         "workload": result.workload_name,
         # Attribution header: which RNG seed and code state produced this.
         "seed": result.seed,
         "code_version": code_version(),
+        "manifest": run_manifest(result.seed),
         "sim_ticks": result.sim_ticks,
         "instructions": result.instructions,
         "cpu_cycles": result.cpu_cycles,
@@ -77,14 +95,21 @@ def result_to_dict(result: SimulationResult) -> dict:
         "write_throughput": result.write_throughput,
         "mean_read_latency_ns": result.mean_read_latency_ns,
     }
+    # Observability sections ride along only when the run collected them,
+    # so metric-less results serialise exactly as compactly as before.
+    if result.metrics is not None:
+        payload["metrics"] = result.metrics
+    if result.timeseries is not None:
+        payload["timeseries"] = result.timeseries
+    return payload
 
 
 def result_from_dict(data: dict) -> SimulationResult:
-    """Inverse of :func:`result_to_dict`."""
-    if data.get("schema") != SCHEMA_VERSION:
+    """Inverse of :func:`result_to_dict` (reads any readable schema)."""
+    if data.get("schema") not in READABLE_SCHEMAS:
         raise ValueError(
             f"unsupported result schema {data.get('schema')!r}; "
-            f"expected {SCHEMA_VERSION}"
+            f"expected one of {READABLE_SCHEMAS}"
         )
     memory_data = dict(data["memory"])
     memory_data["chip_word_writes"] = {
@@ -103,6 +128,8 @@ def result_from_dict(data: dict) -> SimulationResult:
         irlp_max=data["irlp_max"],
         write_service_busy_ticks=data["write_service_busy_ticks"],
         seed=data.get("seed", -1),
+        metrics=data.get("metrics"),
+        timeseries=data.get("timeseries"),
     )
 
 

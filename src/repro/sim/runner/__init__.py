@@ -15,6 +15,8 @@ from repro.sim.runner.executor import (
     ProgressCallback,
     SweepProgress,
     SweepRunner,
+    merged_metrics,
+    merged_timeseries,
     run_jobs,
     run_pairs,
 )
@@ -32,6 +34,8 @@ __all__ = [
     "ProgressCallback",
     "SweepProgress",
     "SweepRunner",
+    "merged_metrics",
+    "merged_timeseries",
     "run_jobs",
     "run_pairs",
     "SweepJob",

@@ -14,18 +14,36 @@ Three cooperating pieces (docs/TELEMETRY.md has the full guide):
 * :class:`EngineProfiler` / :class:`RunProfile` — events dispatched,
   wall-clock seconds and (opt-in) callback-latency top-N for the event
   engine, so hot-path regressions show up in benchmark output.
+* :class:`TimeSeries` / :class:`TimeseriesSampler` — opt-in columnar
+  sampling of probes (queue depths, write-engine occupancy, outstanding
+  reads, rollbacks, recent IRLP) on a simulated-tick cadence.
+* :func:`to_openmetrics` / :func:`lint_openmetrics` /
+  :func:`timeseries_to_jsonl` — standard-format exports of registry
+  dumps and time series (``repro metrics``, CI artifacts).
 
 :class:`Telemetry` bundles a tracer and a registry and is what the
 simulator threads through the controller stack.
 """
 
 from repro.telemetry.chrome import to_chrome_trace, write_chrome_trace
+from repro.telemetry.export import (
+    lint_openmetrics,
+    timeseries_to_jsonl,
+    to_openmetrics,
+)
 from repro.telemetry.profiler import EngineProfiler, RunProfile, WallClock
 from repro.telemetry.registry import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_dumps,
+)
+from repro.telemetry.timeseries import (
+    DEFAULT_CADENCE_TICKS,
+    TimeSeries,
+    TimeseriesSampler,
+    merge_series_dicts,
 )
 from repro.telemetry.tracer import (
     EventType,
@@ -45,6 +63,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_dumps",
+    "DEFAULT_CADENCE_TICKS",
+    "TimeSeries",
+    "TimeseriesSampler",
+    "merge_series_dicts",
+    "to_openmetrics",
+    "lint_openmetrics",
+    "timeseries_to_jsonl",
     "EventType",
     "TraceEvent",
     "Tracer",

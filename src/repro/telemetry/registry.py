@@ -13,7 +13,8 @@ Naming convention: dotted lowercase paths, most-general first, e.g.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class Counter:
@@ -32,7 +33,21 @@ class Counter:
 
 
 class Gauge:
-    """Point-in-time value; remembers the maximum it ever held."""
+    """Point-in-time value; remembers the maximum it ever held.
+
+    Contract (locked by tests/telemetry/test_registry.py):
+
+    * ``set`` assigns an absolute value; ``inc``/``dec`` move relative to
+      the current value.  All three keep ``value`` and ``max_value``
+      consistent — ``dec`` routes through ``set`` so every mutation path
+      shares one definition of the maximum.
+    * ``max_value`` is the largest value the gauge *ever held*, including
+      its initial 0 — a gauge that only ever goes negative reports
+      ``max_value == 0`` because it held 0 before the first update.
+    * Values may be negative (e.g. a mis-accounted depth during
+      debugging); export layers must round-trip them unchanged rather
+      than clamping.
+    """
 
     __slots__ = ("value", "max_value")
 
@@ -49,7 +64,7 @@ class Gauge:
         self.set(self.value + amount)
 
     def dec(self, amount: int = 1) -> None:
-        self.value -= amount
+        self.set(self.value - amount)
 
     def as_dict(self) -> dict:
         return {"type": "gauge", "value": self.value, "max": self.max_value}
@@ -104,33 +119,99 @@ class Histogram:
         """Approximate ``q``-quantile (0..1) from bucket upper bounds.
 
         Returns the upper bound of the bucket holding the q-th
-        observation (``max_seen`` for the overflow bucket).
+        observation, clamped to the exactly-tracked observed range
+        ``[min_seen, max_seen]`` — so ``percentile(1.0)`` is the true
+        maximum rather than the top bucket bound, and quantiles that land
+        in the overflow bucket never saturate at the last finite bound.
+
+        Exact bucket edges resolve to the *lower* bucket: with an
+        integral target rank ``q * count``, the q-th observation itself
+        is the boundary one, so a float-rounding epsilon keeps it from
+        spilling into the next bucket.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
             return 0.0
-        target = q * self.count
+        assert self.min_seen is not None and self.max_seen is not None
+        if q == 0.0:
+            return float(self.min_seen)
+        # 1-based rank of the q-th observation; the epsilon absorbs float
+        # error when q * count lands exactly on a bucket edge.
+        target = max(1, math.ceil(q * self.count - 1e-9))
         seen = 0
-        for i, bucket_count in enumerate(self.counts):
+        for i, bucket_count in enumerate(self.counts[:-1]):
             seen += bucket_count
             if seen >= target:
-                if i < len(self.buckets):
-                    return float(self.buckets[i])
-                break
-        return float(self.max_seen if self.max_seen is not None else 0.0)
+                bound = float(self.buckets[i])
+                return min(max(bound, float(self.min_seen)), float(self.max_seen))
+        # Overflow bucket: every value beyond the last finite bound.
+        return float(self.max_seen)
+
+    #: JSON-safe marker for the overflow bucket bound in ``as_dict``.
+    OVERFLOW_BOUND = "+Inf"
 
     def as_dict(self) -> dict:
+        """JSON-safe dump; ``buckets`` carries an explicit overflow bound.
+
+        ``buckets`` has exactly ``len(counts)`` entries — the finite
+        upper bounds plus a trailing ``"+Inf"`` — so consumers can zip
+        bounds with counts without special-casing the overflow bucket.
+        """
         return {
             "type": "histogram",
-            "buckets": list(self.buckets),
+            "buckets": list(self.buckets) + [self.OVERFLOW_BOUND],
             "counts": list(self.counts),
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
             "min": self.min_seen,
             "max": self.max_seen,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`as_dict` output.
+
+        Derived fields (mean, percentiles) are recomputed, not trusted.
+        """
+        bounds = [b for b in data["buckets"] if b != cls.OVERFLOW_BOUND]
+        histogram = cls(buckets=bounds)
+        counts = list(data["counts"])
+        if len(counts) != len(histogram.counts):
+            raise ValueError(
+                f"histogram dump has {len(counts)} counts for "
+                f"{len(bounds)} finite buckets"
+            )
+        histogram.counts = counts
+        histogram.count = data["count"]
+        histogram.total = data["sum"]
+        histogram.min_seen = data.get("min")
+        histogram.max_seen = data.get("max")
+        return histogram
+
+    def merge(self, other: "Histogram") -> None:
+        """Accumulate another histogram with identical buckets."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.count += other.count
+        self.total += other.total
+        if other.min_seen is not None and (
+            self.min_seen is None or other.min_seen < self.min_seen
+        ):
+            self.min_seen = other.min_seen
+        if other.max_seen is not None and (
+            self.max_seen is None or other.max_seen > self.max_seen
+        ):
+            self.max_seen = other.max_seen
 
 
 class MetricsRegistry:
@@ -195,3 +276,56 @@ class MetricsRegistry:
             name: self._instruments[name].as_dict()
             for name in sorted(self._instruments)
         }
+
+
+def merge_dumps(dumps: Iterable[dict]) -> dict:
+    """Merge per-run registry dumps (:meth:`MetricsRegistry.as_dict`).
+
+    The cross-worker aggregation rule — deterministic, so a parallel
+    sweep's merged metrics are byte-identical to the serial run's:
+
+    * **counters** add;
+    * **gauges** add their final values and take the max of maxima
+      (a sweep-wide ``queue.depth`` is the sum of last-seen depths, its
+      ``max`` the worst depth any run ever hit);
+    * **histograms** merge bucket counts, sums and exact min/max
+      (buckets must match), with means/percentiles recomputed.
+
+    Mixing instrument kinds under one name raises ``TypeError``, exactly
+    like the registry's own get-or-create collision check.
+    """
+    merged: Dict[str, object] = {}
+    for dump in dumps:
+        for name, data in dump.items():
+            kind = data["type"]
+            existing = merged.get(name)
+            if existing is None:
+                if kind == "histogram":
+                    merged[name] = Histogram.from_dict(data)
+                else:
+                    merged[name] = dict(data)
+                continue
+            existing_kind = (
+                "histogram" if isinstance(existing, Histogram)
+                else existing["type"]  # type: ignore[index]
+            )
+            if existing_kind != kind:
+                raise TypeError(
+                    f"metric {name!r} merged as both "
+                    f"{existing_kind} and {kind}"
+                )
+            if kind == "histogram":
+                existing.merge(Histogram.from_dict(data))  # type: ignore[union-attr]
+            elif kind == "counter":
+                existing["value"] += data["value"]  # type: ignore[index]
+            elif kind == "gauge":
+                existing["value"] += data["value"]  # type: ignore[index]
+                existing["max"] = max(existing["max"], data["max"])  # type: ignore[index]
+            else:
+                raise TypeError(f"metric {name!r} has unknown kind {kind!r}")
+    return {
+        name: (
+            value.as_dict() if isinstance(value, Histogram) else value
+        )
+        for name, value in sorted(merged.items())
+    }

@@ -1,0 +1,128 @@
+"""Tests for the self-contained HTML run report."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.htmlreport import (
+    render_report,
+    report_params,
+    system_slot,
+    write_report,
+)
+from repro.analysis.timeline import (
+    BarSeries,
+    LineSeries,
+    svg_grouped_bars,
+    svg_line_chart,
+)
+from repro.core.systems import SYSTEM_NAMES
+from repro.sim.runner import run_pairs
+from repro.sim.simulator import SimulationParams, simulate
+from repro.core.systems import make_system
+
+OBSERVED = SimulationParams(
+    instructions_per_core=2_000, n_cores=2,
+    sample_every_ticks=500, collect_metrics=True,
+)
+
+
+@pytest.fixture(scope="module")
+def six_system_results():
+    return run_pairs([("canneal", s) for s in SYSTEM_NAMES], OBSERVED)
+
+
+def _svgs(text):
+    return re.findall(r"<svg.*?</svg>", text, re.S)
+
+
+def test_report_covers_all_six_systems(six_system_results):
+    text = render_report(six_system_results, title="Six systems")
+    assert text.startswith("<!DOCTYPE html>")
+    for system in SYSTEM_NAMES:
+        assert system in text
+    for q in ("p50", "p95", "p99"):
+        assert q in text
+    # At least two time-series panels plus the percentile bars.
+    assert "Outstanding reads" in text
+    assert "Write queue depth" in text
+    assert len(_svgs(text)) >= 3
+    # Self-contained: no external fetches of any kind.
+    assert "http://" not in text and "https://" not in text
+    assert "<script" not in text
+
+
+def test_report_svgs_are_well_formed(six_system_results):
+    text = render_report(six_system_results)
+    svgs = _svgs(text)
+    assert svgs
+    for svg in svgs:
+        ET.fromstring(svg)  # raises on malformed XML
+
+
+def test_report_has_legend_and_table_views(six_system_results):
+    """Relief rule: every chart ships a legend and an embedded table."""
+    text = render_report(six_system_results)
+    assert text.count('class="legend"') >= 2
+    assert text.count("<table>") >= 3
+    assert "Data table" in text
+
+
+def test_write_report_is_atomic_and_returns_path(tmp_path, six_system_results):
+    out = tmp_path / "report.html"
+    path = write_report(out, six_system_results[:2], title="Two systems")
+    assert path == out
+    assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_render_report_requires_metrics():
+    plain = simulate(
+        make_system("baseline"), "canneal",
+        SimulationParams(instructions_per_core=2_000, n_cores=2),
+    )
+    with pytest.raises(ValueError, match="collect_metrics"):
+        render_report([plain])
+    with pytest.raises(ValueError):
+        render_report([])
+
+
+def test_system_color_slots_are_fixed():
+    """Color follows the entity: a subset plot keeps each system's hue."""
+    assert system_slot("baseline") == 0
+    assert system_slot("rwow-rde") == 5
+    # Unknown systems never steal a paper system's slot.
+    assert system_slot("my-experiment") >= 6
+
+
+def test_report_params_enable_observability():
+    params = report_params(target_requests=100, n_cores=2, seed=3)
+    assert params.collect_metrics is True
+    assert params.sample_every_ticks is not None
+    assert params.seed == 3
+
+
+def test_svg_line_chart_handles_empty_and_escapes():
+    empty = svg_line_chart([])
+    assert "no samples" in empty
+    chart = svg_line_chart([
+        LineSeries("a<b", "var(--series-1)", [(0, 1), (1, 2)]),
+    ], y_label="depth")
+    ET.fromstring(chart)
+    assert "a&lt;b" in chart
+    assert 'stroke-width="2"' in chart
+
+
+def test_svg_grouped_bars_direct_labels_one_series():
+    chart = svg_grouped_bars(
+        ["g1", "g2"],
+        [
+            BarSeries("p50", "var(--ordinal-1)", [1, 2]),
+            BarSeries("p99", "var(--ordinal-3)", [3, 4]),
+        ],
+        label_series="p99",
+    )
+    ET.fromstring(chart)
+    # Only the p99 values get direct labels.
+    assert chart.count('class="direct"') == 2
+    assert "<title>" in chart

@@ -14,10 +14,10 @@ from repro.perf import PRE_PR_BASELINE, SCHEMA_VERSION, check_payload, run_suite
 #: Top-level keys of the BENCH_perf.json payload, in any order.
 TOP_LEVEL_KEYS = {
     "schema", "suite", "seed", "smoke", "code_version",
-    "baseline", "benchmarks", "speedups",
+    "baseline", "benchmarks", "speedups", "metrics_fingerprint",
 }
 
-BENCHMARK_NAMES = ["codec", "storage", "engine", "end_to_end"]
+BENCHMARK_NAMES = ["codec", "storage", "engine", "end_to_end", "timeseries"]
 
 
 def _run_cli_json(capsys, seed: int) -> dict:
@@ -43,6 +43,9 @@ def _shape(payload: dict) -> dict:
             for bench in payload["benchmarks"]
         ],
         "speedup_keys": sorted(payload["speedups"]),
+        # The fingerprint carries no timings — it must be value-identical
+        # across same-seed runs, not just shape-identical.
+        "metrics_fingerprint": payload["metrics_fingerprint"],
     }
 
 
@@ -67,12 +70,18 @@ def test_perf_payload_schema(capsys):
         assert bench["config"], bench["name"]
         for metric, value in bench["metrics"].items():
             assert isinstance(value, (int, float)), (bench["name"], metric)
-    end_to_end = payload["benchmarks"][-1]["config"]
+    end_to_end = payload["benchmarks"][3]["config"]
     assert end_to_end["system"] == "rwow-rde"
     assert end_to_end["workload"] == "canneal"
     assert end_to_end["seed"] == 3
     # Smoke budgets never mix with the full-budget pre-PR ratios.
     assert all("vs_pre_pr" not in key for key in payload["speedups"])
+    # Smoke suites pin only the smoke fingerprint (the full one needs a
+    # full-budget run); its reference config matches the suite seed.
+    fingerprint = payload["metrics_fingerprint"]
+    assert set(fingerprint) == {"smoke"}
+    assert fingerprint["smoke"]["config"]["seed"] == 3
+    assert fingerprint["smoke"]["metrics"]["engine.sim_ticks"] > 0
 
 
 def test_run_suite_passes_its_own_regression_gate():
@@ -99,3 +108,21 @@ def test_check_payload_reports_missing_metrics():
     failures = check_payload({"speedups": {}, "benchmarks": []})
     assert len(failures) == 2
     assert all("missing" in f for f in failures)
+
+
+def test_check_payload_gates_sampling_overhead_at_full_budget():
+    payload = {
+        "smoke": False,
+        "speedups": {
+            "codec.encode_vs_reference": 2.0,
+            "codec.decode_vs_reference": 5.0,
+        },
+        "benchmarks": [
+            {"name": "timeseries", "metrics": {"overhead_ratio": 1.5}},
+        ],
+    }
+    failures = check_payload(payload)
+    assert any("overhead_ratio" in f for f in failures)
+    # Smoke runs are too short for a stable ratio — never gated.
+    payload["smoke"] = True
+    assert check_payload(payload) == []

@@ -70,3 +70,72 @@ def test_result_contains_memory_stats():
     assert result.memory.reads_completed > 0
     assert result.cpu_cycles > 0
     assert result.sim_ticks > 0
+
+
+def test_metrics_and_timeseries_absent_by_default():
+    result = simulate(make_system("baseline"), "canneal", FAST)
+    assert result.metrics is None
+    assert result.timeseries is None
+
+
+def test_sampling_does_not_perturb_the_simulation():
+    """Enabling the sampler must not change any behavioural outcome —
+    only the wall clock.  This is the enabled-path half of the
+    golden-trace guarantee (the disabled path runs the verbatim loop)."""
+    plain = simulate(make_system("rwow-rde"), "canneal", FAST)
+    sampled_params = SimulationParams(
+        instructions_per_core=4_000, n_cores=2,
+        sample_every_ticks=500, collect_metrics=True,
+    )
+    sampled = simulate(make_system("rwow-rde"), "canneal", sampled_params)
+    assert sampled.sim_ticks == plain.sim_ticks
+    assert sampled.profile.events_dispatched == plain.profile.events_dispatched
+    assert sampled.ipc == plain.ipc
+    assert sampled.memory.reads_completed == plain.memory.reads_completed
+
+
+def test_sampled_run_embeds_metrics_and_timeseries():
+    params = SimulationParams(
+        instructions_per_core=4_000, n_cores=2,
+        sample_every_ticks=500, collect_metrics=True,
+    )
+    result = simulate(make_system("rwow-rde"), "canneal", params)
+    assert result.metrics is not None
+    assert result.metrics["reads.completed"]["value"] == (
+        result.memory.reads_completed
+    )
+    # _collect() dumps after _profile(), so the engine fingerprint gauges
+    # are part of the embedded metrics.
+    assert result.metrics["engine.sim_ticks"]["value"] == result.sim_ticks
+    assert result.metrics["engine.events_dispatched"]["value"] == (
+        result.profile.events_dispatched
+    )
+    series = result.timeseries
+    assert series is not None
+    assert series["cadence_ticks"] == 500
+    assert len(series["ticks"]) > 10
+    assert series["ticks"] == sorted(series["ticks"])
+    names = set(series["columns"])
+    assert {"reads.outstanding", "write_engine.inflight",
+            "write.windows_open", "rollbacks.cumulative",
+            "irlp.recent"} <= names
+    assert "ch0.queue.read.depth" in names and "ch3.queue.write.depth" in names
+    # Something actually moved during the run.
+    assert any(v > 0 for v in series["columns"]["reads.outstanding"])
+
+
+def test_sampled_run_is_deterministic():
+    params = SimulationParams(
+        instructions_per_core=4_000, n_cores=2,
+        sample_every_ticks=500, collect_metrics=True,
+    )
+    import json
+
+    a = simulate(make_system("rwow-rde"), "canneal", params)
+    b = simulate(make_system("rwow-rde"), "canneal", params)
+    assert json.dumps(a.metrics, sort_keys=True) == json.dumps(
+        b.metrics, sort_keys=True
+    )
+    assert json.dumps(a.timeseries, sort_keys=True) == json.dumps(
+        b.timeseries, sort_keys=True
+    )

@@ -1,0 +1,107 @@
+"""Unit tests for the OpenMetrics exporter, lint and JSONL sink."""
+
+import json
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.export import (
+    lint_openmetrics,
+    sanitize_name,
+    timeseries_to_jsonl,
+    to_openmetrics,
+)
+from repro.telemetry.timeseries import TimeSeries
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("reads.completed").inc(7)
+    registry.gauge("ch0.queue.read.depth").set(3)
+    histogram = registry.histogram("read.latency.ns", buckets=(10, 20))
+    for value in (5, 15, 99):
+        histogram.observe(value)
+    return registry
+
+
+def test_sanitize_name():
+    assert sanitize_name("ch0.queue.read.depth") == "ch0_queue_read_depth"
+    assert sanitize_name("row.declined.no-overlappable-read") == (
+        "row_declined_no_overlappable_read"
+    )
+    assert sanitize_name("9lives") == "_9lives"
+
+
+def test_to_openmetrics_families():
+    text = to_openmetrics(_sample_registry().as_dict())
+    assert text.endswith("# EOF\n")
+    assert "# TYPE repro_reads_completed counter\n" in text
+    assert "repro_reads_completed_total 7\n" in text
+    assert "repro_ch0_queue_read_depth 3\n" in text
+    assert "repro_ch0_queue_read_depth_max 3\n" in text
+    # Histogram buckets are cumulative and end at +Inf == _count.
+    assert 'repro_read_latency_ns_bucket{le="10"} 1\n' in text
+    assert 'repro_read_latency_ns_bucket{le="20"} 2\n' in text
+    assert 'repro_read_latency_ns_bucket{le="+Inf"} 3\n' in text
+    assert "repro_read_latency_ns_sum 119\n" in text
+    assert "repro_read_latency_ns_count 3\n" in text
+
+
+def test_to_openmetrics_is_deterministic():
+    dump = _sample_registry().as_dict()
+    assert to_openmetrics(dump) == to_openmetrics(dump)
+
+
+def test_lint_accepts_exporter_output():
+    text = to_openmetrics(_sample_registry().as_dict())
+    assert lint_openmetrics(text) == []
+
+
+def test_lint_rejects_structural_breakage():
+    good = to_openmetrics(_sample_registry().as_dict())
+
+    assert lint_openmetrics(good.replace("# EOF\n", ""))  # missing EOF
+    assert lint_openmetrics(good + "trailing 1\n")  # content after EOF
+
+    no_type = good.replace("# TYPE repro_reads_completed counter\n", "")
+    assert any("no # TYPE" in f for f in lint_openmetrics(no_type))
+
+    bad_counter = good.replace(
+        "repro_reads_completed_total 7", "repro_reads_completed 7"
+    )
+    assert any("_total" in f for f in lint_openmetrics(bad_counter))
+
+    non_cumulative = good.replace(
+        'repro_read_latency_ns_bucket{le="20"} 2',
+        'repro_read_latency_ns_bucket{le="20"} 0',
+    )
+    assert any("cumulative" in f for f in lint_openmetrics(non_cumulative))
+
+    count_mismatch = good.replace(
+        "repro_read_latency_ns_count 3", "repro_read_latency_ns_count 9"
+    )
+    assert any("_count" in f for f in lint_openmetrics(count_mismatch))
+
+    bad_value = good.replace(
+        "repro_reads_completed_total 7", "repro_reads_completed_total seven"
+    )
+    assert any("non-numeric" in f for f in lint_openmetrics(bad_value))
+
+
+def test_timeseries_to_jsonl_round_trips():
+    series = TimeSeries(["depth", "irlp"], cadence_ticks=100)
+    series.append(0, [1.0, 0.0])
+    series.append(100, [2.0, 3.5])
+    text = timeseries_to_jsonl(series)
+    lines = [json.loads(line) for line in text.strip().splitlines()]
+    assert lines == [
+        {"tick": 0, "depth": 1.0, "irlp": 0.0},
+        {"tick": 100, "depth": 2.0, "irlp": 3.5},
+    ]
+    # The as_dict form renders identically.
+    assert timeseries_to_jsonl(series.as_dict()) == text
+
+
+def test_to_openmetrics_rejects_unknown_kind():
+    with pytest.raises(TypeError):
+        to_openmetrics({"x": {"type": "mystery", "value": 1}})

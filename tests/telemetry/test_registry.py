@@ -3,7 +3,12 @@
 import pytest
 
 from repro.telemetry import MetricsRegistry
-from repro.telemetry.registry import DEFAULT_BUCKETS, Histogram
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    merge_dumps,
+)
 
 
 def test_counter_math():
@@ -30,6 +35,34 @@ def test_gauge_tracks_maximum():
     assert gauge.as_dict() == {"type": "gauge", "value": 1, "max": 4}
 
 
+def test_gauge_set_vs_inc_contract():
+    """``set`` is absolute, ``inc``/``dec`` are relative; all share max."""
+    gauge = Gauge()
+    gauge.set(5)
+    gauge.inc(2)       # relative: 5 -> 7
+    assert gauge.value == 7 and gauge.max_value == 7
+    gauge.set(2)       # absolute: ignores current value
+    assert gauge.value == 2 and gauge.max_value == 7
+    gauge.dec(3)       # relative: 2 -> -1
+    assert gauge.value == -1 and gauge.max_value == 7
+
+
+def test_gauge_negative_round_trips_through_export():
+    """A negative-going gauge exports its true value; max holds at the
+    initial 0 because the gauge held 0 before the first update."""
+    gauge = Gauge()
+    gauge.dec(4)
+    assert gauge.value == -4
+    assert gauge.max_value == 0
+    assert gauge.as_dict() == {"type": "gauge", "value": -4, "max": 0}
+
+    from repro.telemetry.export import to_openmetrics
+
+    text = to_openmetrics({"depth": gauge.as_dict()})
+    assert "repro_depth -4\n" in text
+    assert "repro_depth_max 0\n" in text
+
+
 def test_histogram_bucket_placement():
     histogram = Histogram(buckets=(10, 20, 40))
     for value in (5, 10, 11, 39, 40, 41, 1000):
@@ -46,13 +79,60 @@ def test_histogram_percentile():
     histogram = Histogram(buckets=(10, 20, 40))
     for value in (1, 2, 15, 30, 30):
         histogram.observe(value)
-    assert histogram.percentile(0.0) == 0.0 or histogram.count
+    # q = 0 is the exact observed minimum, not the first bucket bound.
+    assert histogram.percentile(0.0) == 1.0
     assert histogram.percentile(0.4) == 10.0
     assert histogram.percentile(0.6) == 20.0
-    assert histogram.percentile(1.0) == 40.0
+    # q = 1 is the exact observed maximum — it must not saturate at the
+    # top bucket bound (40).
+    assert histogram.percentile(1.0) == 30.0
     # Overflow bucket reports the observed maximum.
     histogram.observe(999)
     assert histogram.percentile(1.0) == 999.0
+
+
+def test_histogram_percentile_exact_bucket_edges():
+    """An integral target rank selects the lower bucket, even when the
+    floating-point product q * count rounds just above the edge."""
+    histogram = Histogram(buckets=(10, 20))
+    for value in (5, 6, 7, 15, 16, 17, 18, 19, 25, 26):
+        histogram.observe(value)
+    # q * count = 0.3 * 10: float product is 3.0000000000000004; the
+    # 3rd observation (7) still lives in the first bucket.
+    assert histogram.percentile(0.3) == 10.0
+    assert histogram.percentile(0.8) == 20.0
+    # One observation past the edge moves to the next bucket.
+    assert histogram.percentile(0.31) == 20.0
+    # Quantiles landing in the overflow bucket report the exact max.
+    assert histogram.percentile(0.95) == 26.0
+
+
+def test_histogram_percentile_clamps_to_observed_range():
+    """Bucket bounds never leak outside [min_seen, max_seen]."""
+    histogram = Histogram(buckets=(100, 200))
+    histogram.observe(150)
+    for q in (0.0, 0.5, 1.0):
+        assert histogram.percentile(q) == 150.0
+
+
+def test_histogram_from_dict_round_trip_and_merge():
+    first = Histogram(buckets=(10, 20))
+    for value in (1, 5, 15, 99):
+        first.observe(value)
+    rebuilt = Histogram.from_dict(first.as_dict())
+    assert rebuilt.as_dict() == first.as_dict()
+
+    second = Histogram(buckets=(10, 20))
+    second.observe(3)
+    second.observe(500)
+    first.merge(second)
+    assert first.count == 6
+    assert first.total == sum((1, 5, 15, 99, 3, 500))
+    assert first.min_seen == 1 and first.max_seen == 500
+    assert first.counts == [3, 1, 2]
+
+    with pytest.raises(ValueError):
+        first.merge(Histogram(buckets=(1, 2)))
 
 
 def test_histogram_empty_and_validation():
@@ -74,10 +154,46 @@ def test_histogram_as_dict_round_numbers():
     histogram.observe(3)
     data = histogram.as_dict()
     assert data["type"] == "histogram"
-    assert data["buckets"] == [1, 2]
+    # The explicit overflow bound keeps buckets and counts zippable.
+    assert data["buckets"] == [1, 2, "+Inf"]
     assert data["counts"] == [1, 0, 1]
+    assert len(data["buckets"]) == len(data["counts"])
     assert data["count"] == 2
     assert data["sum"] == 4.0
+    assert data["min"] == 1 and data["max"] == 3
+    assert data["p50"] == 1.0 and data["p99"] == 3.0
+
+
+def test_merge_dumps_is_deterministic_and_typed():
+    left = MetricsRegistry()
+    left.counter("reads").inc(3)
+    left.gauge("depth").set(2)
+    left.histogram("lat", buckets=(10, 20)).observe(5)
+    right = MetricsRegistry()
+    right.counter("reads").inc(4)
+    right.gauge("depth").set(7)
+    right.histogram("lat", buckets=(10, 20)).observe(15)
+    right.counter("writes").inc()
+
+    merged = merge_dumps([left.as_dict(), right.as_dict()])
+    assert list(merged) == sorted(merged)
+    assert merged["reads"]["value"] == 7
+    assert merged["depth"] == {"type": "gauge", "value": 9, "max": 7}
+    assert merged["lat"]["counts"] == [1, 1, 0]
+    assert merged["lat"]["min"] == 5 and merged["lat"]["max"] == 15
+    assert merged["writes"]["value"] == 1
+    # Merge order does not matter for the serialised form.
+    import json
+
+    swapped = merge_dumps([right.as_dict(), left.as_dict()])
+    assert json.dumps(merged, sort_keys=True) == json.dumps(
+        swapped, sort_keys=True
+    )
+
+    clash = MetricsRegistry()
+    clash.gauge("reads").set(1)
+    with pytest.raises(TypeError):
+        merge_dumps([left.as_dict(), clash.as_dict()])
 
 
 def test_registry_get_or_create_is_idempotent():

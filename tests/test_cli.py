@@ -118,6 +118,121 @@ def test_stats_command_table(capsys):
     assert "engine:" in out  # profile summary line
 
 
+def test_stats_command_openmetrics(capsys):
+    from repro.telemetry import lint_openmetrics
+
+    assert main([
+        "stats", "--workload", "MP3", "--system", "rwow-rde",
+        "--requests", "200", "--cores", "2", "--format", "openmetrics",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.endswith("# EOF\n")
+    assert "# TYPE repro_reads_completed counter" in out
+    assert "repro_reads_completed_total" in out
+    assert lint_openmetrics(out) == []
+
+
+def test_stats_table_shows_percentiles(capsys):
+    assert main([
+        "stats", "--workload", "MP3", "--system", "baseline",
+        "--requests", "200", "--cores", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "p50=" in out and "p95=" in out and "p99=" in out
+
+
+def test_metrics_command_writes_files(tmp_path, capsys):
+    import json
+
+    om_file = tmp_path / "metrics.txt"
+    ts_file = tmp_path / "timeseries.jsonl"
+    assert main([
+        "metrics", "--workload", "canneal", "--system", "rwow-rde",
+        "--requests", "300", "--cores", "2", "--cadence", "200",
+        "--out", str(om_file), "--timeseries", str(ts_file),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "metric families" in out and "time-series samples" in out
+
+    from repro.telemetry import lint_openmetrics
+
+    text = om_file.read_text()
+    assert lint_openmetrics(text) == []
+    rows = [json.loads(line) for line in ts_file.read_text().splitlines()]
+    assert rows
+    assert all("tick" in row for row in rows)
+
+
+def test_metrics_command_stdout_is_openmetrics(capsys):
+    assert main([
+        "metrics", "--workload", "MP3",
+        "--requests", "200", "--cores", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# TYPE")
+    assert out.endswith("# EOF\n")
+
+
+def test_report_command_renders_html(tmp_path, capsys):
+    out_file = tmp_path / "report.html"
+    assert main([
+        "report", "--out", str(out_file),
+        "--workload", "canneal", "--systems", "baseline,rwow-rde",
+        "--requests", "300", "--cores", "2", "--jobs", "2",
+    ]) == 0
+    assert "wrote" in capsys.readouterr().out
+    text = out_file.read_text()
+    assert text.startswith("<!DOCTYPE html>")
+    assert "baseline" in text and "rwow-rde" in text and "p95" in text
+
+
+def test_regress_command_passes_then_breaches(tmp_path, capsys):
+    import json
+
+    from repro.analysis.regress import collect_fingerprint
+
+    fingerprint = collect_fingerprint(smoke=True)
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps({"metrics_fingerprint": {"smoke": fingerprint}}))
+    assert main(["regress", "--smoke", "--baseline", str(path)]) == 0
+    assert "no breaches" in capsys.readouterr().out
+
+    planted = json.loads(json.dumps(fingerprint))
+    planted["metrics"]["reads.completed"] += 1
+    path.write_text(json.dumps({"metrics_fingerprint": {"smoke": planted}}))
+    assert main(["regress", "--smoke", "--check", "--baseline", str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESS BREACH" in captured.err
+    assert "reads.completed" in captured.err
+
+
+def test_regress_selftest(capsys):
+    assert main(["regress", "--selftest"]) == 0
+    assert "selftest passed" in capsys.readouterr().out
+
+
+def test_regress_update_pins_baseline(tmp_path, capsys, monkeypatch):
+    import json
+
+    from repro.analysis import regress
+
+    monkeypatch.setattr(
+        regress, "collect_fingerprints",
+        lambda seed=7: {"smoke": {"config": {"seed": seed}, "metrics": {}}},
+    )
+    path = tmp_path / "BENCH_perf.json"
+    assert main(["regress", "--update", "--baseline", str(path)]) == 0
+    assert "pinned" in capsys.readouterr().out
+    assert "metrics_fingerprint" in json.loads(path.read_text())
+
+
+def test_regress_explains_missing_baseline_section(tmp_path, capsys):
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text("{}")
+    assert main(["regress", "--baseline", str(path)]) == 1
+    assert "metrics_fingerprint" in capsys.readouterr().err
+
+
 def test_gen_trace_roundtrip(tmp_path, capsys):
     out_file = tmp_path / "t.trace"
     assert main([
