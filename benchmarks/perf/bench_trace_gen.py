@@ -1,0 +1,20 @@
+"""Synthetic trace generator microbenchmark.
+
+Times the epoch-batched record stream (the exact path the simulator's
+cores consume) on the canneal profile; tracked in BENCH_perf.json.
+"""
+
+from repro.perf import bench_trace_gen
+
+from benchmarks.common import write_report
+from benchmarks.perf.common import PERF_SEED, report_text
+
+
+def test_perf_trace_gen(benchmark):
+    report = benchmark.pedantic(
+        lambda: bench_trace_gen(PERF_SEED), rounds=1, iterations=1
+    )
+    write_report(
+        "perf_trace_gen", report_text(report, "perf: synthetic trace stream")
+    )
+    assert report.metrics["record_us"] > 0

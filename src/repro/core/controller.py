@@ -49,6 +49,10 @@ class PCMapController(MemoryController):
         self.status_registers = [
             DimmStatusRegister(rank, self.timing) for rank in self.ranks
         ]
+        #: ``(state, earliest)`` memo of a failed candidate scan; valid
+        #: while the summed version counters still match (see
+        #: ``select_write_candidate``).
+        self._candidate_scan_memo: Optional[tuple] = None
         return super()._build_policy_chain()
 
     @property
@@ -68,34 +72,85 @@ class PCMapController(MemoryController):
         token gates dirty writes only; silent (zero-dirty) candidates
         need their data chips readable, not the engine.
         """
-        if self.fine.inflight >= self.config.max_inflight_writes:
+        fine = self.fine
+        if fine.inflight >= self.config.max_inflight_writes:
             return None  # completions will re-kick
+        ranks = self.ranks
+        # Whole-scan memo: every input of the scan (queue membership,
+        # chip reservations, engine-token holds) bumps a monotonic
+        # counter, so an unchanged sum means an identical scan.  A failed
+        # scan that found nothing ready before ``earliest`` therefore
+        # stays failed while ``now`` has not reached it — the wake-up
+        # armed here is the same one the full rescan would arm.
+        state = self.write_q.version + fine.version
+        for r in ranks:
+            state += r.version
+        memo = self._candidate_scan_memo
+        if memo is not None and memo[0] == state:
+            earliest = memo[1]
+            if earliest is None:
+                return None
+            if earliest > now:
+                self._note_wake(earliest)
+                return None
         head: Optional[MemoryRequest] = None
         decoded = None
         earliest: Optional[int] = None
-        for req in self.write_q.entries():
+        # Hot loop: runs once per scheduler step over every queued write.
+        # Decode and chip sets come from the submit-time caches on the
+        # request (with a decode fallback for directly-pushed test
+        # requests); locals are hoisted and ``max`` is spelled as a
+        # comparison — this function dominated the end-to-end profile.
+        rank_scope = fine._rank_scope
+        engine_free_get = fine._free.get
+        mapper_decode = self.mapper.decode
+        layout = self.layout
+        for req in self.write_q.pending:
             if req.start_service >= 0:
-                continue  # already in flight (entry held until completion)
-            candidate = self.mapper.decode(req.address)
-            rank = self.ranks[candidate.rank]
-            engine_free = self.fine.free_at(candidate)
-            if req.dirty_count == 0:
-                chips = self.layout.all_data_chips(candidate.line_address)
-                ready = rank.read_ready_time(chips, candidate.bank)
+                continue  # issued outside the tracked paths (tests)
+            candidate = req.decoded
+            if candidate is None:
+                candidate = mapper_decode(req.address)
+            rank = ranks[candidate.rank]
+            version = rank.version
+            cached = req.ready_cache
+            if not req.dirty_mask:
+                if cached is not None and cached[0] == version:
+                    ready = cached[1]
+                else:
+                    chips = req.chips
+                    if chips is None:
+                        chips = layout.all_data_chips(candidate.line_address)
+                    ready = rank.read_ready_time(chips, candidate.bank)
+                    req.ready_cache = (version, ready)
             else:
-                chips = self.layout.dirty_chips(
-                    candidate.line_address, req.dirty_mask
-                )
-                ready = max(
-                    engine_free,
-                    rank.write_ready_time(chips, candidate.bank),
-                )
+                if cached is not None and cached[0] == version:
+                    ready = cached[1]
+                else:
+                    chips = req.chips
+                    if chips is None:
+                        chips = layout.dirty_chips(
+                            candidate.line_address, req.dirty_mask
+                        )
+                    ready = rank.write_ready_time(chips, candidate.bank)
+                    req.ready_cache = (version, ready)
+                # fine.free_at, inlined: the scan visits every queued
+                # dirty write per step and the call overhead showed up.
+                if rank_scope:
+                    engine_free = engine_free_get(candidate.rank, 0)
+                else:
+                    engine_free = engine_free_get(
+                        (candidate.rank, candidate.bank), 0
+                    )
+                if engine_free > ready:
+                    ready = engine_free
             if ready <= now:
                 head, decoded = req, candidate
                 break
             if earliest is None or ready < earliest:
                 earliest = ready
         if head is None or decoded is None:
+            self._candidate_scan_memo = (state, earliest)
             if earliest is not None:
                 self._note_wake(earliest)
             return None

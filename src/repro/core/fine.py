@@ -53,28 +53,36 @@ class FineWriteEngine:
             )
         self.c = controller
         self.scope = scope
+        #: Scope resolved to a bool once: ``free_at`` sits in the
+        #: write-candidate scan and must not string-compare per call.
+        self._rank_scope = scope == "rank"
         #: Fine-grained writes currently in flight on this channel.
         self.inflight = 0
         #: Engine-token free times, keyed by rank (or (rank, bank)).
         self._free: dict = {}
+        #: Bumped whenever a token reservation changes (scan-memo input).
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Write-engine token
     # ------------------------------------------------------------------
     def _token(self, decoded: DecodedAddress) -> Union[int, Tuple[int, int]]:
-        if self.scope == "rank":
+        if self._rank_scope:
             return decoded.rank
         return (decoded.rank, decoded.bank)
 
     def free_at(self, decoded: DecodedAddress) -> int:
         """Tick at which ``decoded``'s engine token is free."""
-        return self._free.get(self._token(decoded), 0)
+        if self._rank_scope:
+            return self._free.get(decoded.rank, 0)
+        return self._free.get((decoded.rank, decoded.bank), 0)
 
     def hold(self, decoded: DecodedAddress, until: int) -> None:
         """Extend the engine-token reservation to ``until``."""
         token = self._token(decoded)
         if until > self._free.get(token, 0):
             self._free[token] = until
+            self.version += 1
 
     @property
     def budget_left(self) -> int:
@@ -234,6 +242,7 @@ class FineWriteEngine:
         """
         c = self.c
         req.start_service = start
+        c.write_q.note_issued(req)
         if c.storage is not None and req.new_words is not None:
             c.storage.write_line(
                 decoded.line_address, req.new_words, req.dirty_mask
@@ -252,7 +261,7 @@ class SilentWritePolicy(BaseSchedulerPolicy):
     name = "silent-write"
 
     def select_write(self, ctx: WriteContext) -> bool:
-        if ctx.head.dirty_count != 0:
+        if ctx.head.dirty_mask:
             return False
         assert self.controller is not None
         self.controller.fine.issue_silent_write(ctx.head, ctx.decoded, ctx.now)

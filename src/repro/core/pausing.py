@@ -147,6 +147,7 @@ class WritePausingPolicy(BaseSchedulerPolicy):
             c.stats.record_chip_write(c.geometry.ecc_chip_index)
 
         req.start_service = start
+        c.write_q.note_issued(req)
         if c.storage is not None and req.new_words is not None:
             c.storage.write_line(
                 decoded.line_address, req.new_words, req.dirty_mask

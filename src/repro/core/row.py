@@ -140,7 +140,9 @@ class ReadOverWritePolicy(BaseSchedulerPolicy):
         )
         busy = set(rank.busy_chips_at(now)) | head_chips
         for req in c.read_q:
-            read_decoded = c.mapper.decode(req.address)
+            read_decoded = req.decoded
+            if read_decoded is None:
+                read_decoded = c.mapper.decode(req.address)
             if read_decoded.rank != decoded.rank:
                 continue
             line = read_decoded.line_address
@@ -193,7 +195,9 @@ class ReadOverWritePolicy(BaseSchedulerPolicy):
         assert c is not None and self.chain is not None
         if request not in c.read_q:
             return  # already issued or forwarded by the base path
-        decoded = c.mapper.decode(request.address)
+        decoded = request.decoded
+        if decoded is None:
+            decoded = c.mapper.decode(request.address)
         window = self._active_window[decoded.rank]
         if window is None or window.end <= c.engine.now:
             if window is not None:
@@ -216,7 +220,9 @@ class ReadOverWritePolicy(BaseSchedulerPolicy):
         """
         c = self.controller
         assert c is not None
-        decoded = c.mapper.decode(request.address)
+        decoded = request.decoded
+        if decoded is None:
+            decoded = c.mapper.decode(request.address)
         rank = c.ranks[decoded.rank]
         line = decoded.line_address
         word_chips = c.layout.all_data_chips(line)
@@ -287,7 +293,9 @@ class ReadOverWritePolicy(BaseSchedulerPolicy):
                 # this method through the CPU's back-pressure waiter; the
                 # nested call may have issued entries of our snapshot.
                 continue
-            decoded = c.mapper.decode(req.address)
+            decoded = req.decoded
+            if decoded is None:
+                decoded = c.mapper.decode(req.address)
             if decoded.rank != rank_index:
                 continue
             plan = self.chain.admit_overlap_read(window, req, now)

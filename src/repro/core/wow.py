@@ -60,47 +60,76 @@ class WriteOverWritePolicy(BaseSchedulerPolicy):
         assert c is not None and self.chain is not None
         rank = c.ranks[decoded_head.rank]
 
+        layout = c.layout
+
         def chip_sets(
             req: MemoryRequest, decoded: DecodedAddress
         ) -> Tuple[Set[int], Set[int]]:
+            # Line address and dirty mask are final once queued, so the
+            # sets live on the request across admission scans.
+            cached = req.wow_sets
+            if cached is not None:
+                return cached
             line = decoded.line_address
-            data = set(c.layout.dirty_chips(line, req.dirty_mask))
-            code = {c.layout.ecc_chip(line)}
-            pcc = c.layout.pcc_chip(line)
+            chips = req.chips
+            if chips is None:
+                chips = layout.dirty_chips(line, req.dirty_mask)
+            data = set(chips)
+            code = {layout.ecc_chip(line)}
+            pcc = layout.pcc_chip(line)
             if pcc is not None:
                 code.add(pcc)
-            return data, code
+            req.wow_sets = sets = (data, code)
+            return sets
 
         head_data, head_code = chip_sets(head, decoded_head)
         members: List[Tuple[MemoryRequest, DecodedAddress]] = [
             (head, decoded_head)
         ]
+        admitted = {id(head)}
         occupied_all = head_data | head_code
         budget = c.config.max_inflight_writes - c.fine.inflight
         limit = min(c.config.wow_max_group, budget)
+        head_rank = decoded_head.rank
+        mapper_decode = c.mapper.decode
 
         for require_code_disjoint in (True, False):
-            for req in c.write_q.entries():
+            if len(members) >= limit:
+                break
+            # No queue mutation happens during admission (members issue
+            # after both passes), so iterate the pending FIFO directly.
+            for req in c.write_q.pending:
                 if len(members) >= limit:
                     break
                 if (
-                    req is head
-                    or req.dirty_count == 0
+                    not req.dirty_mask
                     or req.start_service >= 0
-                    or any(req is member for member, _d in members)
+                    or id(req) in admitted
                 ):
                     continue
-                decoded = c.mapper.decode(req.address)
-                if decoded.rank != decoded_head.rank:
+                decoded = req.decoded
+                if decoded is None:
+                    decoded = mapper_decode(req.address)
+                if decoded.rank != head_rank:
                     continue
                 data, code = chip_sets(req, decoded)
-                if occupied_all.intersection(data):
+                if not occupied_all.isdisjoint(data):
                     continue
-                if require_code_disjoint and occupied_all.intersection(code):
+                if require_code_disjoint and not occupied_all.isdisjoint(code):
                     continue
-                if rank.write_ready_time(data, decoded.bank) > now:
+                # Same ready flavour (write-ready over the dirty chips)
+                # the candidate scan caches — reuse its rank-version memo.
+                version = rank.version
+                cached = req.ready_cache
+                if cached is not None and cached[0] == version:
+                    ready = cached[1]
+                else:
+                    ready = rank.write_ready_time(data, decoded.bank)
+                    req.ready_cache = (version, ready)
+                if ready > now:
                     continue
                 members.append((req, decoded))
+                admitted.add(id(req))
                 occupied_all.update(data | code)
 
         window = c._open_window(-1, -1)

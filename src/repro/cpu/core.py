@@ -20,7 +20,7 @@ the core (its base CPI) is held constant across systems, so IPC *ratios*
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.cpu.rollback import RollbackModel
 from repro.memory.memsys import MainMemory
@@ -86,6 +86,14 @@ class TraceCore:
         self._wait_started = 0
         self._next_req_id = core_id << 32
         self._penalty_ticks_owed = 0
+        #: Fired once when the core finishes (Multicore's done counter).
+        self.on_finish: Optional[Callable[[], None]] = None
+        # Hoisted timing constants: ``cycle_ticks`` is a computed
+        # property and sits in a per-record multiply.  The product is
+        # NOT pre-folded — ``gap * cpi * ticks`` must keep its original
+        # left-to-right float evaluation so delays stay bit-identical.
+        self._base_cpi = params.base_cpi
+        self._cycle_ticks = params.cycle_ticks
 
     # ------------------------------------------------------------------
     @property
@@ -113,6 +121,8 @@ class TraceCore:
     def _finish(self) -> None:
         if self.finish_tick is None:
             self.finish_tick = self.engine.now
+            if self.on_finish is not None:
+                self.on_finish()
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
@@ -132,7 +142,7 @@ class TraceCore:
                 remaining = self.instruction_limit - self.instructions_retired
                 self.instructions_retired = self.instruction_limit
                 delay = int(
-                    remaining * self.params.base_cpi * self.params.cycle_ticks
+                    remaining * self._base_cpi * self._cycle_ticks
                 )
                 self.engine.call_after(delay, self._finish)
                 return
@@ -141,7 +151,7 @@ class TraceCore:
                 self.instruction_limit - self.instructions_retired,
             )
             self.instructions_retired += gap
-            delay = int(gap * self.params.base_cpi * self.params.cycle_ticks)
+            delay = int(gap * self._base_cpi * self._cycle_ticks)
             delay += self._penalty_ticks_owed
             self._penalty_ticks_owed = 0
             self._pending = record

@@ -2,13 +2,44 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.cpu.core import CoreParams, TraceCore
 from repro.memory.memsys import MainMemory
+from repro.memory.storage import MemoryStorage
 from repro.sim.engine import Engine
+from repro.trace.record import AccessKind, TraceRecord
 from repro.trace.synthetic import SyntheticTraceGenerator
 from repro.trace.workloads import WorkloadProfile
+
+
+def _epoch_prefetcher(
+    storage: MemoryStorage,
+) -> Optional[Callable[[List[TraceRecord]], None]]:
+    """Per-epoch cold-line prefetch hook for functional runs.
+
+    Only the epoch's *read* addresses are prefetched: reads always
+    materialise their line, so batch-materialising them ahead is
+    invisible (identical records, no counters touched) — whereas
+    payload-less write-backs never touch storage, and prefetching them
+    would materialise lines the run otherwise leaves cold.  Restricted
+    to plain :class:`MemoryStorage`: the fault-injecting subclass sweeps
+    every materialised line through its oracle, so changing *which*
+    lines exist would change campaign accounting.
+    """
+    if type(storage) is not MemoryStorage:
+        return None
+
+    def prefetch(records: List[TraceRecord]) -> None:
+        storage.prefetch(
+            {
+                record.address // 64
+                for record in records
+                if record.kind is AccessKind.READ
+            }
+        )
+
+    return prefetch
 
 
 class Multicore:
@@ -29,8 +60,17 @@ class Multicore:
         self.profile = profile
         self.params = params or CoreParams()
         self.cores: List[TraceCore] = []
+        #: Cores that called back via on_finish; the simulator polls
+        #: ``all_done`` once per dispatched event, so it must be an
+        #: integer compare rather than an 8-property sweep.
+        self._finished = 0
         capacity_lines = (
             memory.config.geometry.capacity_bytes // 64
+        )
+        on_epoch = (
+            _epoch_prefetcher(memory.storage)
+            if memory.storage is not None
+            else None
         )
         for core_id in range(n_cores):
             generator = SyntheticTraceGenerator(
@@ -40,25 +80,28 @@ class Multicore:
                 n_cores=n_cores,
                 capacity_lines=capacity_lines,
             )
-            self.cores.append(
-                TraceCore(
-                    engine,
-                    core_id,
-                    generator.records(),
-                    memory,
-                    self.params,
-                    instructions_per_core,
-                )
+            core = TraceCore(
+                engine,
+                core_id,
+                generator.records(on_epoch=on_epoch),
+                memory,
+                self.params,
+                instructions_per_core,
             )
+            core.on_finish = self._note_finish
+            self.cores.append(core)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         for core in self.cores:
             core.start()
 
+    def _note_finish(self) -> None:
+        self._finished += 1
+
     @property
     def all_done(self) -> bool:
-        return all(core.done for core in self.cores)
+        return self._finished >= len(self.cores)
 
     @property
     def instructions_retired(self) -> int:

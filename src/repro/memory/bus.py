@@ -12,7 +12,7 @@ exposes through :meth:`reserve_partial`.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.memory.timing import TimingParams
 
@@ -37,10 +37,8 @@ class ChannelBus:
         self.n_chips = n_chips
         self._free_at = 0
         self._last_direction: Optional[BusDirection] = None
-        self._chip_free_at: Dict[int, int] = {c: 0 for c in range(n_chips)}
-        self._chip_last_dir: Dict[int, Optional[BusDirection]] = {
-            c: None for c in range(n_chips)
-        }
+        self._chip_free_at: List[int] = [0] * n_chips
+        self._chip_last_dir: List[Optional[BusDirection]] = [None] * n_chips
         #: Total ticks the full-width bus spent transferring (utilisation).
         self.busy_ticks = 0
 
@@ -76,9 +74,11 @@ class ChannelBus:
         self._last_direction = direction
         self.busy_ticks += duration
         # A full-width burst occupies every sub-link as well.
+        chip_free = self._chip_free_at
         for chip in range(self.n_chips):
-            self._chip_free_at[chip] = max(self._chip_free_at[chip], end)
-            self._chip_last_dir[chip] = direction
+            if end > chip_free[chip]:
+                chip_free[chip] = end
+        self._chip_last_dir = [direction] * self.n_chips
         return start, end
 
     def reserve_partial(

@@ -109,6 +109,9 @@ class MemoryController:
         self.drain = False
         self._wake_handle = None
         self._wake_time: Optional[int] = None
+        #: ``(state, earliest_future)`` memo of a failed read scan; valid
+        #: while the read queue and rank reservations are unchanged.
+        self._read_scan_memo: Optional[Tuple[int, int]] = None
         self._open_windows: List[WriteWindow] = []
         self._in_kick = False
         #: Optional observer called with each read request right after it
@@ -174,12 +177,35 @@ class MemoryController:
             self._m_reads_enqueued.inc()
             if self._try_forward_read(request):
                 return
+            # Queued: decode + chip set are final, cache them once for the
+            # FR-FCFS scans (the scheduler revisits every queued request
+            # each step).  MainMemory.submit may have decoded already
+            # while routing the request here.
+            decoded = request.decoded
+            if decoded is None:
+                request.decoded = decoded = self.mapper.decode(request.address)
+            request.chips = self.layout.read_chips(decoded.line_address)
             self.read_q.push(request)
             if self.drain:
                 request.delayed_by_write = True
         else:
             self._m_writes_enqueued.inc()
             self.detector.detect(request)
+            # Cache after detection: the detector is what finalises
+            # ``dirty_mask``.  Silent writes cache their compare set
+            # (all data chips), dirty writes their essential-chip set —
+            # exactly what the write-candidate scans re-derive per step.
+            decoded = request.decoded
+            if decoded is None:
+                request.decoded = decoded = self.mapper.decode(request.address)
+            if request.dirty_mask:
+                request.chips = self.layout.dirty_chips(
+                    decoded.line_address, request.dirty_mask
+                )
+            else:
+                request.chips = self.layout.all_data_chips(
+                    decoded.line_address
+                )
             self.stats.record_write(request.dirty_count)
             self.write_q.push(request)
         self._kick()
@@ -291,11 +317,12 @@ class MemoryController:
         write's data; the controller forwards it from its buffers at SRAM
         speed instead of touching the PCM array.
         """
-        matches = [
-            w for w in self.write_q if w.line_address == req.line_address
-        ]
-        if not matches:
+        line_address = req.line_address
+        if not self.write_q.has_line(line_address):
             return False
+        matches = [
+            w for w in self.write_q if w.line_address == line_address
+        ]
         if self.storage is not None:
             # In-flight writes already committed to the functional store;
             # overlay the still-pending ones in queue (FIFO) order.
@@ -324,14 +351,36 @@ class MemoryController:
 
     def _try_issue_read(self, now: int) -> bool:
         """FR-FCFS over the read queue; returns True if a read was issued."""
+        ranks = self.ranks
+        # Whole-scan memo (see ``select_write_candidate``): a failed scan
+        # stays failed while the read queue and every rank reservation
+        # counter are unchanged and ``now`` has not reached the earliest
+        # ready time it computed.
+        state = self.read_q.version
+        for r in ranks:
+            state += r.version
+        memo = self._read_scan_memo
+        if memo is not None and memo[0] == state and memo[1] > now:
+            self._note_wake(memo[1])
+            return False
         best: Optional[MemoryRequest] = None
         best_hit = False
         earliest_future: Optional[int] = None
         for req in self.read_q:
-            decoded = self.mapper.decode(req.address)
-            rank = self.ranks[decoded.rank]
-            chips = self.layout.read_chips(decoded.line_address)
-            ready = rank.read_ready_time(chips, decoded.bank)
+            decoded = req.decoded
+            if decoded is None:  # queued outside submit (direct tests)
+                decoded = self.mapper.decode(req.address)
+            rank = ranks[decoded.rank]
+            chips = req.chips
+            if chips is None:
+                chips = self.layout.read_chips(decoded.line_address)
+            version = rank.version
+            cached = req.ready_cache
+            if cached is not None and cached[0] == version:
+                ready = cached[1]
+            else:
+                ready = rank.read_ready_time(chips, decoded.bank)
+                req.ready_cache = (version, ready)
             if ready > now:
                 if earliest_future is None or ready < earliest_future:
                     earliest_future = ready
@@ -343,15 +392,20 @@ class MemoryController:
                     break  # row hit + oldest-first: good enough
         if best is None:
             if earliest_future is not None:
+                self._read_scan_memo = (state, earliest_future)
                 self._note_wake(earliest_future)
             return False
         self._issue_read(best, now)
         return True
 
     def _issue_read(self, req: MemoryRequest, now: int) -> None:
-        decoded = self.mapper.decode(req.address)
+        decoded = req.decoded
+        if decoded is None:
+            decoded = self.mapper.decode(req.address)
         rank = self.ranks[decoded.rank]
-        chips = self.layout.read_chips(decoded.line_address)
+        chips = req.chips
+        if chips is None:
+            chips = self.layout.read_chips(decoded.line_address)
         start = max(now, rank.read_ready_time(chips, decoded.bank))
         activation = rank.activation_ticks(chips, decoded.bank, decoded.row)
         if activation == 0:
@@ -377,9 +431,12 @@ class MemoryController:
                 kind="read",
             ))
         if not req.delayed_by_write:
-            req.delayed_by_write = any(
-                rank.chip_write_busy_until(c) > req.arrival for c in chips
-            )
+            arrival = req.arrival
+            chip_states = rank.chips
+            for c in chips:
+                if chip_states[c].write_busy_until > arrival:
+                    req.delayed_by_write = True
+                    break
         data_chips = self.layout.all_data_chips(decoded.line_address)
         self._record_activity(data_chips, start, bus_end)
         if self.storage is not None:
@@ -420,11 +477,14 @@ class MemoryController:
         with oldest-*ready*-first selection over fine-grained chip sets.
         """
         head = next(
-            (req for req in self.write_q if req.start_service < 0), None
+            (req for req in self.write_q.pending if req.start_service < 0),
+            None,
         )
         if head is None:
             return None
-        decoded = self.mapper.decode(head.address)
+        decoded = head.decoded
+        if decoded is None:
+            decoded = self.mapper.decode(head.address)
         rank = self.ranks[decoded.rank]
         chips = self._coarse_write_chips(decoded)
         ready = rank.write_ready_time(chips, decoded.bank)
@@ -491,6 +551,7 @@ class MemoryController:
         and back-pressure is physical.
         """
         req.start_service = start
+        self.write_q.note_issued(req)
         if self.tracer.enabled:
             self.tracer.emit(TraceEvent(
                 EventType.REQUEST_ISSUE,
@@ -552,8 +613,15 @@ class MemoryController:
         return window
 
     def _prune_windows(self) -> None:
+        # Runs every kick; rebuild the list only when something expired.
+        windows = self._open_windows
+        if not windows:
+            return
         now = self.engine.now
-        self._open_windows = [w for w in self._open_windows if w.end > now]
+        for window in windows:
+            if window.end <= now:
+                self._open_windows = [w for w in windows if w.end > now]
+                return
 
     def _record_activity(
         self, chips: Tuple[int, ...], start: int, end: int

@@ -73,6 +73,9 @@ class MainMemory:
             )
             for channel in range(config.geometry.n_channels)
         ]
+        #: address -> owning controller; cores probe ``can_accept`` before
+        #: every issue, and the footprint's addresses repeat heavily.
+        self._route: dict = {}
 
     # ------------------------------------------------------------------
     def controller_for(self, address: int) -> MemoryController:
@@ -81,10 +84,20 @@ class MainMemory:
         return self.controllers[decoded.channel]
 
     def can_accept(self, kind: RequestKind, address: int) -> bool:
-        return self.controller_for(address).can_accept(kind)
+        # controller_for with a routing memo: cores poll this before
+        # every issue, usually for addresses seen before.
+        controller = self._route.get(address)
+        if controller is None:
+            controller = self.controllers[self.mapper.decode(address).channel]
+            self._route[address] = controller
+        return controller.can_accept(kind)
 
     def submit(self, request: MemoryRequest) -> None:
-        self.controller_for(request.address).submit(request)
+        # The routing decode is the same decode the controller would
+        # redo; hand it over so submit skips its own mapper lookup.
+        decoded = self.mapper.decode(request.address)
+        request.decoded = decoded
+        self.controllers[decoded.channel].submit(request)
 
     def wait_for_space(self, kind: RequestKind, address: int, callback) -> None:
         self.controller_for(address).wait_for_space(kind, callback)

@@ -207,6 +207,24 @@ class PolicyChain:
         self.mark_reads_delayed_in_drain = all(
             p.mark_reads_delayed_in_drain for p in self.policies
         )
+        # Per-hook dispatch lists: broadcast hooks run every scheduler
+        # step (or every read submit), and most chain members inherit the
+        # base no-op — drop those at bind time so the hot loops only call
+        # policies that actually listen.
+        self._pre_select = self._implementors("pre_select")
+        self._on_read_enqueued = self._implementors("on_read_enqueued")
+        self._admit_overlap_read = self._implementors("admit_overlap_read")
+        self._on_window_open = self._implementors("on_window_open")
+        self._on_window_close = self._implementors("on_window_close")
+        self._on_verify_result = self._implementors("on_verify_result")
+
+    def _implementors(self, hook: str) -> List[SchedulerPolicy]:
+        """Chain members that override ``hook`` (base no-ops excluded)."""
+        base = getattr(BaseSchedulerPolicy, hook)
+        return [
+            p for p in self.policies
+            if getattr(type(p), hook, None) is not base
+        ]
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
@@ -225,7 +243,7 @@ class PolicyChain:
     # ------------------------------------------------------------------
     def select_write(self, now: int) -> bool:
         """Run one write scheduling step; True when service was issued."""
-        for policy in self.policies:
+        for policy in self._pre_select:
             verdict = policy.pre_select(now)
             if verdict is not None:
                 return verdict
@@ -241,28 +259,28 @@ class PolicyChain:
     # Broadcast notifications
     # ------------------------------------------------------------------
     def on_read_enqueued(self, request: MemoryRequest) -> None:
-        for policy in self.policies:
+        for policy in self._on_read_enqueued:
             policy.on_read_enqueued(request)
 
     def admit_overlap_read(
         self, window: "WriteWindow", request: MemoryRequest, now: int
     ) -> Optional[ReadAdmission]:
-        for policy in self.policies:
+        for policy in self._admit_overlap_read:
             plan = policy.admit_overlap_read(window, request, now)
             if plan is not None:
                 return plan
         return None
 
     def on_window_open(self, window: "WriteWindow", rank: int) -> None:
-        for policy in self.policies:
+        for policy in self._on_window_open:
             policy.on_window_open(window, rank)
 
     def on_window_close(self, window: "WriteWindow", rank: int) -> None:
-        for policy in self.policies:
+        for policy in self._on_window_close:
             policy.on_window_close(window, rank)
 
     def on_verify_result(self, request: MemoryRequest, rollback: bool) -> None:
-        for policy in self.policies:
+        for policy in self._on_verify_result:
             policy.on_verify_result(request, rollback)
 
 

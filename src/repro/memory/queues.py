@@ -13,7 +13,7 @@ model can apply back-pressure; waiters are notified when space frees up.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.memory.request import MemoryRequest
 
@@ -30,6 +30,9 @@ class RequestQueue:
         self._space_waiters: List[Callable[[], None]] = []
         #: Peak occupancy seen (for reporting).
         self.high_water = 0
+        #: Bumped on every push/remove; scheduler scan memos sum this
+        #: with the rank versions to detect "nothing changed" rescans.
+        self.version = 0
         # Optional telemetry instruments (attach_metrics); one is-None
         # check per push/remove when unattached.
         self._depth_gauge = None
@@ -75,7 +78,9 @@ class RequestQueue:
                 self._reject_counter.inc()
             return False
         self._entries.append(request)
-        self.high_water = max(self.high_water, len(self._entries))
+        self.version += 1
+        if len(self._entries) > self.high_water:
+            self.high_water = len(self._entries)
         if self._depth_gauge is not None:
             self._depth_gauge.set(len(self._entries))
             self._push_counter.inc()
@@ -89,6 +94,7 @@ class RequestQueue:
     def remove(self, request: MemoryRequest) -> None:
         """Remove a specific entry (used when a request is issued)."""
         self._entries.remove(request)
+        self.version += 1
         if self._depth_gauge is not None:
             self._depth_gauge.set(len(self._entries))
         self._notify_space()
@@ -132,13 +138,74 @@ class WriteQueue(RequestQueue):
             )
         self.drain_high = drain_high
         self.drain_low = drain_low
+        # Thresholds as entry counts: the drain check runs every
+        # scheduler step and must not divide.
+        self._high_count = drain_high * capacity
+        self._low_count = drain_low * capacity
+        #: Queued/in-flight entries per line address — the read-forwarding
+        #: check probes this before scanning for matching writes.
+        self._line_counts: Dict[int, int] = {}
+        #: FIFO of entries not yet issued (``start_service < 0``).  The
+        #: candidate/WoW scans iterate this instead of the full queue so
+        #: in-flight entries (held until completion) cost nothing per
+        #: scheduler step.  Maintained by ``offer``/``remove`` and by the
+        #: issue paths via :meth:`note_issued`.
+        self._pending: List[MemoryRequest] = []
 
     @property
     def above_high_watermark(self) -> bool:
         """True when a drain should start (queue > alpha full)."""
-        return self.occupancy > self.drain_high
+        return len(self._entries) > self._high_count
 
     @property
     def below_low_watermark(self) -> bool:
         """True when an active drain should stop."""
-        return self.occupancy <= self.drain_low
+        return len(self._entries) <= self._low_count
+
+    # ------------------------------------------------------------------
+    def offer(self, request: MemoryRequest) -> bool:
+        accepted = super().offer(request)
+        if accepted:
+            counts = self._line_counts
+            line = request.line_address
+            counts[line] = counts.get(line, 0) + 1
+            self._pending.append(request)
+        return accepted
+
+    def remove(self, request: MemoryRequest) -> None:
+        super().remove(request)
+        counts = self._line_counts
+        line = request.line_address
+        remaining = counts[line] - 1
+        if remaining:
+            counts[line] = remaining
+        else:
+            del counts[line]
+        # Entries normally leave _pending at issue time; a removal before
+        # issue (cancellation, tests) must not leave a stale entry.
+        try:
+            self._pending.remove(request)
+        except ValueError:
+            pass
+
+    def note_issued(self, request: MemoryRequest) -> None:
+        """Drop ``request`` from the pending FIFO once it starts service.
+
+        Bumps ``version`` so candidate-scan memos keyed on queue state
+        are invalidated along with the membership change.  Requests that
+        never entered the queue (synthesised code updates) are a no-op.
+        """
+        try:
+            self._pending.remove(request)
+        except ValueError:
+            return
+        self.version += 1
+
+    @property
+    def pending(self) -> List[MemoryRequest]:
+        """Queued writes that have not started service, oldest first."""
+        return self._pending
+
+    def has_line(self, line_address: int) -> bool:
+        """True when some queued write targets ``line_address``."""
+        return line_address in self._line_counts

@@ -114,6 +114,11 @@ class RankState:
         self.channel = channel
         self.rank_index = rank_index
         self.chips: List[ChipState] = [ChipState(n_banks) for _ in range(n_chips)]
+        #: Bumped by every reservation.  Ready-time answers are pure
+        #: functions of chip state, so schedulers cache them per request
+        #: stamped with this counter and skip the chip scan while the
+        #: rank hasn't changed (wake-timer rescans mostly haven't).
+        self.version = 0
         #: When set (e.g. by the timeline example), every reservation is
         #: appended here as an :class:`OccupancyEvent`.
         self.occupancy_log: Optional[List[OccupancyEvent]] = None
@@ -248,8 +253,14 @@ class RankState:
         row: Optional[int],
         start: int = -1,
     ) -> None:
+        self.version += 1
+        states = self.chips
+        if self.occupancy_log is None and not self.tracer.enabled:
+            for c in chips:
+                states[c].reserve_read(bank, end, row)
+            return
         for c in chips:
-            self.chips[c].reserve_read(bank, end, row)
+            states[c].reserve_read(bank, end, row)
             self._log("read", c, bank, start, end)
 
     def reserve_write(
@@ -260,8 +271,14 @@ class RankState:
         row: Optional[int],
         start: int = -1,
     ) -> None:
+        self.version += 1
+        states = self.chips
+        if self.occupancy_log is None and not self.tracer.enabled:
+            for c in chips:
+                states[c].reserve_write(bank, end, row)
+            return
         for c in chips:
-            self.chips[c].reserve_write(bank, end, row)
+            states[c].reserve_write(bank, end, row)
             self._log("write", c, bank, start, end)
 
     def reserve_chip_write(
@@ -273,8 +290,10 @@ class RankState:
         start: int = -1,
     ) -> None:
         """Reserve a single chip's write circuitry (fine-grained write)."""
+        self.version += 1
         self.chips[chip].reserve_write(bank, end, row)
-        self._log("write", chip, bank, start, end)
+        if self.occupancy_log is not None or self.tracer.enabled:
+            self._log("write", chip, bank, start, end)
 
     # ------------------------------------------------------------------
     def earliest_all_free(self, chips: Iterable[int], bank: int) -> int:

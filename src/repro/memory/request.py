@@ -10,8 +10,11 @@ on real bits.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
+
+if TYPE_CHECKING:  # address.py imports LINE_BYTES from here — no cycle
+    from repro.memory.address import DecodedAddress
 
 LINE_BYTES = 64
 WORDS_PER_LINE = 8
@@ -48,13 +51,19 @@ _DIRTY_WORDS: Tuple[Tuple[int, ...], ...] = tuple(
 )
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class MemoryRequest:
     """One line-granularity main-memory transaction.
 
     Timing fields are engine ticks.  ``completion`` is set by the memory
     controller when the request finishes; ``on_complete`` (if set) fires
     at that moment so the CPU model can unstall.
+
+    Requests compare (and hash) by identity: every transaction is a
+    distinct object, and the queue membership / removal the scheduler
+    performs per issue must not pay a field-by-field dataclass compare.
+    Slots, because the scheduler's candidate scans are attribute-bound:
+    they touch several fields of every queued request each step.
     """
 
     req_id: int
@@ -94,6 +103,36 @@ class MemoryRequest:
     #: argument is True when the verification failed (rollback needed).
     on_verify: Optional[Callable[["MemoryRequest", bool], None]] = None
 
+    # ----- scheduler fast-path caches -----------------------------------
+    #: Line index (byte address / 64); precomputed, the address is final.
+    line_address: int = field(init=False, repr=False)
+    #: Decoded address, cached by the owning controller at submit (the
+    #: request is routed to exactly one channel, so one mapper applies).
+    decoded: Optional["DecodedAddress"] = field(
+        init=False, repr=False, default=None
+    )
+    #: Chips the request touches, cached at submit *after* essential-word
+    #: detection finalises ``dirty_mask``: ``read_chips`` for reads,
+    #: ``dirty_chips`` for writes.  The candidate scans the scheduler
+    #: runs per issue re-query these constantly.
+    chips: Optional[Tuple[int, ...]] = field(
+        init=False, repr=False, default=None
+    )
+    #: ``(rank_version, ready_tick)`` memo of the request's ready time
+    #: over :attr:`chips` — valid while the owning rank's reservation
+    #: counter still equals the stored version.  Written only by the
+    #: controller scan loops; a request always targets one rank and one
+    #: ready-time flavour, so the cache cannot be confused across uses.
+    ready_cache: Optional[Tuple[int, int]] = field(
+        init=False, repr=False, default=None
+    )
+    #: ``(data_chips, code_chips)`` sets for WoW group admission; line
+    #: address and dirty mask are final once queued, so the sets are
+    #: computed once per write instead of once per admission scan.
+    wow_sets: Optional[Tuple[set, set]] = field(
+        init=False, repr=False, default=None
+    )
+
     def __post_init__(self) -> None:
         if self.address % LINE_BYTES:
             raise ValueError(
@@ -105,12 +144,7 @@ class MemoryRequest:
             raise ValueError("read requests cannot carry a dirty mask")
         if self.new_words is not None and len(self.new_words) != WORDS_PER_LINE:
             raise ValueError("new_words must have 8 entries")
-
-    # ------------------------------------------------------------------
-    @property
-    def line_address(self) -> int:
-        """Line index (byte address / 64)."""
-        return self.address // LINE_BYTES
+        self.line_address = self.address // LINE_BYTES
 
     @property
     def is_read(self) -> bool:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -48,11 +49,13 @@ class CacheStats:
     misses: int = 0
     corrupt: int = 0     #: entries discarded for parse/key/digest failures
     writes: int = 0
+    errors: int = 0      #: filesystem errors (unreadable/undeletable entries)
 
     def summary(self) -> str:
         return (
             f"cache: {self.hits} hits, {self.misses} misses "
-            f"({self.corrupt} corrupt), {self.writes} writes"
+            f"({self.corrupt} corrupt, {self.errors} errors), "
+            f"{self.writes} writes"
         )
 
 
@@ -62,9 +65,39 @@ class ResultCache:
     def __init__(self, directory: Union[str, Path]):
         self.directory = Path(directory)
         self.stats = CacheStats()
+        self._warned_errors = False
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def _note_error(self, action: str, path: Path, exc: OSError) -> None:
+        """Count a filesystem error and warn the first time it happens.
+
+        A permission-denied or I/O-failing entry degrades to a miss (the
+        sweep recomputes, correctness is unharmed) — but a cache that
+        silently never hits costs every warm rerun its speedup, so the
+        first failure is surfaced on stderr and every one is counted in
+        ``stats.errors``.
+        """
+        self.stats.errors += 1
+        if not self._warned_errors:
+            self._warned_errors = True
+            print(
+                f"repro sweep cache: cannot {action} {path} "
+                f"({exc.__class__.__name__}: {exc}); treating as a miss — "
+                "further cache I/O errors are counted but not repeated",
+                file=sys.stderr,
+            )
+
+    def _discard(self, path: Path) -> None:
+        """Best-effort removal of a bad entry, with accounting."""
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass  # already gone: nothing was swallowed
+        except OSError as exc:
+            self._note_error("remove", path, exc)
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[SimulationResult]:
@@ -72,12 +105,31 @@ class ResultCache:
 
         Any defect in the entry — unreadable file, JSON error, key or
         digest mismatch, bad schema — degrades to a miss: the entry is
-        removed (best effort) and the caller recomputes.
+        removed (best effort) and the caller recomputes.  Filesystem
+        errors (permission denied, I/O failure) are additionally counted
+        in ``stats.errors`` and warned about once per cache instance.
         """
         path = self.path_for(key)
         try:
             with open(path) as handle:
                 entry = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError as exc:
+            # Unreadable entry (permissions, I/O): recompute and count.
+            self.stats.misses += 1
+            self._note_error("read", path, exc)
+            self._discard(path)
+            return None
+        except ValueError:
+            # json.JSONDecodeError is a ValueError: a truncated or
+            # garbled entry is corruption, not an I/O error.
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            self._discard(path)
+            return None
+        try:
             if entry.get("schema") != CACHE_SCHEMA:
                 raise ValueError(f"unsupported cache schema {entry.get('schema')!r}")
             if entry.get("key") != key:
@@ -86,18 +138,12 @@ class ResultCache:
             if payload_digest(payload) != entry.get("payload_sha256"):
                 raise ValueError("cache entry failed its digest check")
             result = result_from_dict(payload)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
-            # json.JSONDecodeError is a ValueError; result_from_dict
-            # raises ValueError/KeyError/TypeError on malformed payloads.
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # result_from_dict raises ValueError/KeyError/TypeError on
+            # malformed payloads; AttributeError covers non-dict JSON.
             self.stats.misses += 1
             self.stats.corrupt += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._discard(path)
             return None
         profile = entry.get("profile")
         if isinstance(profile, dict):
@@ -138,8 +184,10 @@ class ResultCache:
                 try:
                     path.unlink()
                     removed += 1
-                except OSError:
-                    pass
+                except FileNotFoundError:
+                    pass  # raced with another process: it is gone either way
+                except OSError as exc:
+                    self._note_error("remove", path, exc)
         return removed
 
     def entry_count(self) -> int:

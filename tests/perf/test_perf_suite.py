@@ -9,15 +9,26 @@ the JSON schema, the benchmark names and configs, and the metric *keys*
 import json
 
 from repro import cli
-from repro.perf import PRE_PR_BASELINE, SCHEMA_VERSION, check_payload, run_suite
+from repro.ecc import batch
+from repro.perf import (
+    PR6_BASELINE,
+    PRE_PR_BASELINE,
+    SCHEMA_VERSION,
+    check_payload,
+    run_suite,
+)
 
 #: Top-level keys of the BENCH_perf.json payload, in any order.
 TOP_LEVEL_KEYS = {
     "schema", "suite", "seed", "smoke", "code_version",
-    "baseline", "benchmarks", "speedups", "metrics_fingerprint",
+    "baseline", "baseline_pr6", "benchmarks", "speedups",
+    "metrics_fingerprint",
 }
 
-BENCHMARK_NAMES = ["codec", "storage", "engine", "end_to_end", "timeseries"]
+BENCHMARK_NAMES = [
+    "codec", "batch_codec", "storage", "engine", "trace_gen",
+    "end_to_end", "timeseries",
+]
 
 
 def _run_cli_json(capsys, seed: int) -> dict:
@@ -64,18 +75,31 @@ def test_perf_payload_schema(capsys):
     assert payload["smoke"] is True
     assert isinstance(payload["code_version"], str) and payload["code_version"]
     assert payload["baseline"] == PRE_PR_BASELINE
+    assert payload["baseline_pr6"] == PR6_BASELINE
     assert [b["name"] for b in payload["benchmarks"]] == BENCHMARK_NAMES
+    by_name = {b["name"]: b for b in payload["benchmarks"]}
     for bench in payload["benchmarks"]:
         assert set(bench) == {"name", "config", "metrics"}
         assert bench["config"], bench["name"]
         for metric, value in bench["metrics"].items():
             assert isinstance(value, (int, float)), (bench["name"], metric)
-    end_to_end = payload["benchmarks"][3]["config"]
+    end_to_end = by_name["end_to_end"]["config"]
     assert end_to_end["system"] == "rwow-rde"
     assert end_to_end["workload"] == "canneal"
     assert end_to_end["seed"] == 3
-    # Smoke budgets never mix with the full-budget pre-PR ratios.
+    # The batch report declares which path it measured; on numpy builds
+    # it must carry the gated vectorization ratios.
+    batch_codec = by_name["batch_codec"]
+    assert batch_codec["config"]["numpy"] is batch.HAS_NUMPY
+    if batch.HAS_NUMPY:
+        assert batch_codec["metrics"]["encode_vs_scalar"] > 0
+        assert "batch_codec.encode_vs_scalar" in payload["speedups"]
+    else:
+        assert "encode_vs_scalar" not in batch_codec["metrics"]
+        assert "batch_codec.encode_vs_scalar" not in payload["speedups"]
+    # Smoke budgets never mix with the full-budget pre-PR/PR6 ratios.
     assert all("vs_pre_pr" not in key for key in payload["speedups"])
+    assert all("vs_pr6" not in key for key in payload["speedups"])
     # Smoke suites pin only the smoke fingerprint (the full one needs a
     # full-budget run); its reference config matches the suite seed.
     fingerprint = payload["metrics_fingerprint"]
@@ -108,6 +132,36 @@ def test_check_payload_reports_missing_metrics():
     failures = check_payload({"speedups": {}, "benchmarks": []})
     assert len(failures) == 2
     assert all("missing" in f for f in failures)
+
+
+def test_check_payload_gates_batch_codec_on_numpy_builds():
+    base = {
+        "speedups": {
+            "codec.encode_vs_reference": 2.0,
+            "codec.decode_vs_reference": 5.0,
+        },
+    }
+    slow = dict(base, benchmarks=[{
+        "name": "batch_codec",
+        "config": {"numpy": True},
+        "metrics": {"encode_vs_scalar": 1.5, "decode_vs_scalar": 30.0},
+    }])
+    failures = check_payload(slow)
+    assert any("5x vectorization floor" in f for f in failures)
+    missing = dict(base, benchmarks=[{
+        "name": "batch_codec",
+        "config": {"numpy": True},
+        "metrics": {"scalar_encode_us": 1.0},
+    }])
+    failures = check_payload(missing)
+    assert any("missing metric" in f for f in failures)
+    # Scalar-only builds carry no ratios and are never gated.
+    scalar = dict(base, benchmarks=[{
+        "name": "batch_codec",
+        "config": {"numpy": False},
+        "metrics": {"scalar_encode_us": 1.0, "scalar_decode_us": 3.0},
+    }])
+    assert check_payload(scalar) == []
 
 
 def test_check_payload_gates_sampling_overhead_at_full_budget():

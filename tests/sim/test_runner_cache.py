@@ -103,3 +103,52 @@ def test_clear_removes_entries(tmp_path):
     cache.put("b" * 64, _result())
     assert cache.clear() == 2
     assert cache.entry_count() == 0
+
+
+def test_permission_denied_entry_recomputes_and_is_counted(
+    tmp_path, monkeypatch, capsys
+):
+    """An unreadable entry degrades to a miss (the sweep recomputes) but is
+    counted in ``stats.errors`` and warned about exactly once."""
+    import builtins
+
+    cache = ResultCache(tmp_path)
+    path = cache.put(KEY, _result())
+    real_open = builtins.open
+
+    def deny_open(file, *args, **kwargs):
+        if str(file) == str(path):
+            raise PermissionError(13, "Permission denied", str(file))
+        return real_open(file, *args, **kwargs)
+
+    def deny_unlink(self, missing_ok=False):
+        raise PermissionError(13, "Permission denied", str(self))
+
+    monkeypatch.setattr(builtins, "open", deny_open)
+    monkeypatch.setattr(type(path), "unlink", deny_unlink)
+
+    assert cache.get(KEY) is None  # degraded to a miss: caller recomputes
+    assert cache.stats.misses == 1
+    assert cache.stats.errors == 2  # unreadable + undeletable
+    assert cache.stats.corrupt == 0  # an I/O error is not corruption
+    first = capsys.readouterr().err
+    assert "sweep cache" in first and str(path) in first
+    assert "errors" in cache.stats.summary()
+
+    assert cache.get(KEY) is None  # still failing: counted again ...
+    assert cache.stats.errors == 4
+    assert capsys.readouterr().err == ""  # ... but warned only once
+
+
+def test_clear_counts_undeletable_entries(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    path = cache.put(KEY, _result())
+    cache.put("b" * 64, _result())
+
+    def deny_unlink(self, missing_ok=False):
+        raise PermissionError(13, "Permission denied", str(self))
+
+    monkeypatch.setattr(type(path), "unlink", deny_unlink)
+    assert cache.clear() == 0
+    assert cache.stats.errors == 2
+    assert cache.entry_count() == 2

@@ -128,3 +128,59 @@ def test_write_bursts_exist():
         else:
             current = 0
     assert runs >= 3  # eviction waves produce back-to-back write-backs
+
+
+def test_write_read_affinity_draws_from_recent_reads():
+    """The affinity path must pick lines the generator actually read
+    recently — this is the draw that must stay insertion-ordered."""
+    workload = get_workload("canneal")
+    generator = SyntheticTraceGenerator(workload, seed=3)
+    seen_reads = []
+    affinity_hits = 0
+    for record in generator.take(20_000):
+        line = record.address // LINE_BYTES
+        if record.kind is AccessKind.READ:
+            seen_reads.append(line)
+        elif line in seen_reads[-32:]:
+            affinity_hits += 1
+    assert affinity_hits > 0
+
+
+def test_stream_identical_across_hash_seeds():
+    """PYTHONHASHSEED must not leak into the trace stream.
+
+    ``_recent_reads`` is drawn from by index, so only insertion order can
+    matter; this pins the whole record stream (the draw that PR 1's
+    ``zlib.crc32`` fix and the deque-index affinity draw both protect)
+    across interpreters with different hash randomisation.
+    """
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    script = (
+        "import hashlib;"
+        "from repro.trace.synthetic import SyntheticTraceGenerator;"
+        "from repro.trace.workloads import get_workload;"
+        "g = SyntheticTraceGenerator("
+        "    get_workload('canneal'), seed=11, core_id=3, n_cores=8);"
+        "h = hashlib.sha256();"
+        "[h.update(repr((r.kind.value, r.address, r.dirty_mask,"
+        " r.gap_instructions)).encode()) for r in g.take(4000)];"
+        "print(h.hexdigest())"
+    )
+    digests = set()
+    for hash_seed in ("0", "1", "31337"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        digests.add(proc.stdout.strip())
+    assert len(digests) == 1, f"stream depends on PYTHONHASHSEED: {digests}"
