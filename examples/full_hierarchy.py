@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
-"""Full functional path: CPU loads/stores -> caches -> dirty masks -> PCM.
+"""Full path: CPU loads/stores -> caches -> the *simulated* DRAM tier -> PCM.
 
 Everywhere else in this repository, dirty-word masks come from the
 statistical workload profiles.  This example shows where they come from
-physically: a stream of CPU loads and stores runs through the L1/L2/DRAM
-cache hierarchy with per-word dirty tracking; the DRAM cache's dirty
-evictions carry the masks Figure 2 histograms; and the resulting
-memory-level trace is replayed against baseline vs PCMap memory with a
-functional backing store, checking end-to-end data integrity.
+physically, in two stages:
+
+1. **Functional derivation** — a stream of CPU loads and stores runs
+   through the L1/L2/DRAM hierarchy with per-word dirty tracking; the
+   DRAM cache's dirty evictions carry the masks Figure 2 histograms.
+2. **Timed tier replay** — the same CPU trace is reduced to its post-L2
+   stream (``HierarchyConfig(dram_cache=None)``) and pushed through the
+   simulated :class:`DramCacheFrontEnd` over real PCMap memory: hits are
+   engine-scheduled events, misses coalesce in MSHRs, dirty evictions
+   enter the controller write queues.  The tier's scoreboard is then
+   cross-checked against the telemetry counters it emits.
 
 Run:  python examples/full_hierarchy.py
 
@@ -20,11 +26,14 @@ import random
 
 from repro.analysis import format_table
 from repro.cache.dram_cache import DramCacheConfig
+from repro.cache.frontend import DramCacheFrontEnd, FrontEndConfig
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.core.systems import make_system
+from repro.cpu.core import CoreParams
 from repro.memory.memsys import MainMemory
 from repro.memory.request import MemoryRequest, RequestKind
 from repro.sim.engine import Engine
+from repro.telemetry import Telemetry
 from repro.trace.record import AccessKind, TraceRecord
 
 
@@ -55,9 +64,8 @@ def generate_cpu_trace(n_accesses=60_000, seed=42):
     return records
 
 
-def main() -> None:
-    requests = int(os.environ.get("REPRO_EXAMPLE_REQUESTS", "4000"))
-    # Scaled-down hierarchy so the working set actually spills to PCM.
+def functional_derivation(cpu_trace):
+    """Stage 1: derive Figure 2's masks through the functional stack."""
     hierarchy = CacheHierarchy(
         n_cores=1,
         config=HierarchyConfig(
@@ -66,7 +74,6 @@ def main() -> None:
             dram_cache=DramCacheConfig(size_bytes=512 * 1024, associativity=8),
         ),
     )
-    cpu_trace = generate_cpu_trace(n_accesses=15 * requests)
     memory_trace, levels = hierarchy.replay(0, cpu_trace)
 
     print("Cache hierarchy filtering:")
@@ -98,56 +105,103 @@ def main() -> None:
         )
     )
 
-    # Replay the derived trace against functional PCM, verifying data.
+
+def timed_tier_replay(cpu_trace, requests):
+    """Stage 2: the DRAM level as a simulated tier over PCMap memory."""
+    post_l2 = CacheHierarchy(
+        n_cores=1,
+        config=HierarchyConfig(
+            l1_size=16 * 1024,
+            l2_size=128 * 1024,
+            dram_cache=None,            # the DRAM level is simulated below
+        ),
+    )
+    memory_trace, _levels = post_l2.replay(0, cpu_trace)
+    memory_trace = memory_trace[: 4 * requests]
+
+    telemetry = Telemetry.disabled()     # metrics registry is always on
     engine = Engine()
-    memory = MainMemory(engine, make_system("rwow-rde", functional=True))
-    expected = {}
+    memory = MainMemory(engine, make_system("rwow-rde"), telemetry=telemetry)
+    frontend = DramCacheFrontEnd(
+        engine,
+        memory,
+        FrontEndConfig(
+            kind="dram",
+            dram=DramCacheConfig(size_bytes=512 * 1024, associativity=8),
+            replacement="mac",
+        ),
+        cycle_ticks=CoreParams().cycle_ticks,
+        telemetry=telemetry,
+    )
+
     req_id = 0
-    mismatches = 0
-    checked = 0
-    # Replay the tail of the trace: the head is cold fills only, while
-    # the tail mixes fills with dirty evictions.
-    for record in memory_trace[-requests:]:
+    for record in memory_trace:
+        kind = (
+            RequestKind.READ
+            if record.kind is AccessKind.READ
+            else RequestKind.WRITE
+        )
+        while not frontend.can_accept(kind, record.address):
+            if not engine.step():
+                raise RuntimeError("tier deadlocked under back-pressure")
         req_id += 1
-        if record.kind is AccessKind.WRITE_BACK:
-            decoded = memory.mapper.decode(record.address)
-            old = memory.storage.read_line(decoded.line_address).words
-            new = list(old)
-            for w in range(8):
-                if (record.dirty_mask >> w) & 1:
-                    new[w] = (new[w] + 0x1234_5678) & ((1 << 64) - 1)
-            request = MemoryRequest(
-                req_id, RequestKind.WRITE, record.address,
-                new_words=tuple(new),
+        if kind is RequestKind.READ:
+            frontend.submit(
+                MemoryRequest(req_id, RequestKind.READ, record.address)
             )
-            if memory.can_accept(request.kind, record.address):
-                memory.submit(request)
-                expected[record.address] = tuple(new)
         else:
-            request = MemoryRequest(req_id, RequestKind.READ, record.address)
-            if memory.can_accept(request.kind, record.address):
-                if record.address in expected:
-                    want = expected[record.address]
-
-                    def check(req, want=want):
-                        nonlocal mismatches, checked
-                        checked += 1
-                        if req.data_words != want:
-                            mismatches += 1
-
-                    request.on_complete = check
-                memory.submit(request)
-        engine.run(until=engine.now + 400)
+            frontend.submit(
+                MemoryRequest(
+                    req_id, RequestKind.WRITE, record.address,
+                    dirty_mask=record.dirty_mask,
+                )
+            )
+        engine.run(until=engine.now + 40)
     engine.run(max_events=5_000_000)
 
-    stats = memory.aggregate_stats()
-    print(f"\nReplayed {stats.reads_completed} reads / "
-          f"{stats.writes_completed} writes on functional PCMap memory")
-    print(f"RoW-reconstructed reads: {stats.row_reads}, "
-          f"WoW-consolidated writes: {stats.wow_member_writes}")
-    print(f"Data integrity: {checked} read-after-write checks, "
-          f"{mismatches} mismatches")
-    assert mismatches == 0, "data corruption through the PCMap path!"
+    stats = frontend.stats
+    print("\nSimulated DRAM tier (mac replacement) over rwow-rde PCM:")
+    print(
+        format_table(
+            ["tier metric", "value"],
+            [
+                ["accesses", stats.accesses],
+                ["hit rate", f"{stats.hit_rate:.3f}"],
+                ["MSHR-coalesced misses", stats.coalesced],
+                ["PCM line fills", stats.fills],
+                ["PCM write-backs", stats.write_backs],
+            ],
+        )
+    )
+    pcm = memory.aggregate_stats()
+    print(f"\nPCM behind the tier: {pcm.reads_completed} reads / "
+          f"{pcm.writes_completed} writes completed "
+          f"(RoW reads {pcm.row_reads}, WoW writes {pcm.wow_member_writes})")
+
+    # The tier's scoreboard and its telemetry counters are two views of
+    # the same events — they must agree exactly.
+    counters = telemetry.metrics
+    checks = [
+        ("frontend.hits", stats.hits),
+        ("frontend.misses", stats.misses),
+        ("frontend.mshr_coalesced", stats.coalesced),
+        ("frontend.fills", stats.fills),
+        ("frontend.write_backs", stats.write_backs),
+    ]
+    for name, expected in checks:
+        actual = counters.counter(name).value
+        assert actual == expected, f"{name}: {actual} != {expected}"
+    assert frontend.dram.stats.hits == stats.hits
+    assert frontend.dram.stats.misses == stats.misses
+    print(f"Telemetry cross-check: {len(checks)} counters match "
+          "the tier scoreboard")
+
+
+def main() -> None:
+    requests = int(os.environ.get("REPRO_EXAMPLE_REQUESTS", "4000"))
+    cpu_trace = generate_cpu_trace(n_accesses=15 * requests)
+    functional_derivation(cpu_trace)
+    timed_tier_replay(cpu_trace, requests)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,9 @@ class CacheLine:
     dirty_mask: int = 0                       #: bit per dirty 8B word
     words: Optional[Tuple[int, ...]] = None   #: functional payload
     last_use: int = 0                         #: LRU timestamp
+    #: Opaque per-line replacement-policy state (reference bit for CLOCK,
+    #: access level for MAC, unused by LRU); owned by the policy object.
+    policy_state: int = 0
 
     @property
     def dirty(self) -> bool:

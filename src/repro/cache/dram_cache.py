@@ -7,14 +7,19 @@ dirty-word statistics Figure 2 analyses, so its lines track per-word
 dirty masks (and, in functional mode, real words).
 
 This wraps :class:`SetAssociativeCache` with the Table I geometry and the
-write-back plumbing the hierarchy needs.
+write-back plumbing its consumers need.  Two consumers exist: the
+functional :class:`~repro.cache.hierarchy.CacheHierarchy` (mask
+derivation, no timing) and the timed
+:class:`~repro.cache.frontend.DramCacheFrontEnd`, which schedules
+``access_cycles`` hit latencies on the simulation engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
+from repro.cache.replacement import ReplacementPolicy
 from repro.cache.set_assoc import Eviction, SetAssociativeCache
 
 
@@ -24,8 +29,11 @@ class DramCacheConfig:
 
     size_bytes: int = 256 * 1024 * 1024
     associativity: int = 8
-    #: Access latency in CPU cycles (folded into base CPI by the timing
-    #: model; kept for reporting and the full-hierarchy example).
+    #: Hit latency in CPU cycles.  The timed front end
+    #: (:class:`repro.cache.frontend.DramCacheFrontEnd`) schedules every
+    #: tier hit ``access_cycles`` CPU cycles after submission; with the
+    #: front end off (``front_end=none``) traces are post-LLC and the
+    #: latency is folded into the core's base CPI instead (DESIGN.md §5).
     access_cycles: int = 100
 
 
@@ -33,7 +41,10 @@ class DramCache:
     """Last-level (DRAM) cache in front of the PCM main memory."""
 
     def __init__(
-        self, config: Optional[DramCacheConfig] = None, track_words: bool = False
+        self,
+        config: Optional[DramCacheConfig] = None,
+        track_words: bool = False,
+        policy: Union[str, ReplacementPolicy, None] = None,
     ):
         self.config = config or DramCacheConfig()
         self.cache = SetAssociativeCache(
@@ -41,6 +52,7 @@ class DramCache:
             self.config.associativity,
             name="dram-cache",
             track_words=track_words,
+            policy=policy,
         )
         #: Dirty evictions produced so far (the PCM write-back stream).
         self.write_backs: int = 0
@@ -57,7 +69,7 @@ class DramCache:
         """
         hit, evicted = self.cache.access(address, is_write, value)
         write_backs: List[Eviction] = []
-        if evicted is not None and evicted.dirty:
+        if evicted is not None:
             self.write_backs += 1
             write_backs.append(evicted)
         return hit, write_backs

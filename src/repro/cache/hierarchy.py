@@ -1,15 +1,22 @@
 """Three-level cache hierarchy (Table I): L1 -> L2 -> DRAM cache -> PCM.
 
 The hierarchy consumes CPU-level LOAD/STORE trace records and emits
-main-memory events: line READs on DRAM-cache misses and dirty-masked
-WRITE_BACKs on DRAM-cache evictions.  This is the functional path that
+main-memory events: line READs on last-cache-level misses and
+dirty-masked WRITE_BACKs on evictions.  This is the functional path that
 *derives* the dirty-word masks the statistical generator otherwise
 synthesises — the full-hierarchy example and the cache tests use it.
 
-Simplifications (documented in DESIGN.md §5): caches are functional (hit
-latencies live in the core's base CPI); L1/L2 are unified per core here
-(the paper's split I/D L1s matter for instruction fetch, which trace
-replay does not model); coherence is not simulated (single-writer traces).
+The DRAM level is optional: ``HierarchyConfig(dram_cache=None)`` stops
+the functional stack after the L2, producing the post-L2 stream the
+timed :class:`~repro.cache.frontend.DramCacheFrontEnd` consumes — the
+DRAM tier is then *simulated* (engine-scheduled hits, MSHRs, write-back
+queues) instead of folded in functionally.  See docs/FRONTEND.md.
+
+Simplifications (documented in DESIGN.md §5): this stack is functional
+(its hit latencies live in the core's base CPI, or in the timed front
+end when one is configured); L1/L2 are unified per core here (the
+paper's split I/D L1s matter for instruction fetch, which trace replay
+does not model); coherence is not simulated (single-writer traces).
 """
 
 from __future__ import annotations
@@ -31,8 +38,15 @@ class HierarchyConfig:
     l1_associativity: int = 2
     l2_size: int = 8 * 1024 * 1024
     l2_associativity: int = 8
-    dram_cache: DramCacheConfig = field(default_factory=DramCacheConfig)
+    #: ``None`` drops the functional DRAM level entirely: references
+    #: that miss the L2 go straight to "memory", which is how the stack
+    #: is composed in front of the timed DRAM tier.
+    dram_cache: Optional[DramCacheConfig] = field(
+        default_factory=DramCacheConfig
+    )
     track_words: bool = False
+    #: Replacement policy name for every level (repro.cache.replacement).
+    replacement: str = "lru"
 
 
 @dataclass
@@ -45,7 +59,7 @@ class HierarchyOutcome:
 
 
 class CacheHierarchy:
-    """Per-core L1 over a shared L2 + DRAM cache."""
+    """Per-core L1 over a shared L2 (+ optional functional DRAM cache)."""
 
     def __init__(self, n_cores: int = 8, config: Optional[HierarchyConfig] = None):
         self.config = config or HierarchyConfig()
@@ -56,6 +70,7 @@ class CacheHierarchy:
                 self.config.l1_associativity,
                 name=f"l1-{core}",
                 track_words=self.config.track_words,
+                policy=self.config.replacement,
             )
             for core in range(n_cores)
         ]
@@ -64,10 +79,15 @@ class CacheHierarchy:
             self.config.l2_associativity,
             name="l2",
             track_words=self.config.track_words,
+            policy=self.config.replacement,
         )
-        self.dram = DramCache(
-            self.config.dram_cache, track_words=self.config.track_words
-        )
+        self.dram: Optional[DramCache] = None
+        if self.config.dram_cache is not None:
+            self.dram = DramCache(
+                self.config.dram_cache,
+                track_words=self.config.track_words,
+                policy=self.config.replacement,
+            )
 
     # ------------------------------------------------------------------
     def reference(
@@ -94,11 +114,12 @@ class CacheHierarchy:
         if l2_hit:
             return outcome
 
-        outcome.hit_level = "dram"
-        dram_hit, write_backs = self.dram.access(line_base(address), False)
-        outcome.write_backs.extend(write_backs)
-        if dram_hit:
-            return outcome
+        if self.dram is not None:
+            outcome.hit_level = "dram"
+            dram_hit, write_backs = self.dram.access(line_base(address), False)
+            outcome.write_backs.extend(write_backs)
+            if dram_hit:
+                return outcome
 
         outcome.hit_level = "memory"
         outcome.fills.append(line_base(address))
@@ -118,13 +139,17 @@ class CacheHierarchy:
             if line is not None:
                 line.dirty_mask |= eviction.dirty_mask
             self._spill(l2_evicted, outcome, into_l2=False)
-        else:
+        elif self.dram is not None:
             # Write-back from the L2 lands in the DRAM cache.
             _hit, write_backs = self.dram.access(eviction.address, True)
             line = self.dram.cache.line_state(eviction.address)
             if line is not None:
                 line.dirty_mask |= eviction.dirty_mask
             outcome.write_backs.extend(write_backs)
+        else:
+            # No functional DRAM level: the L2 eviction *is* the
+            # memory-boundary write-back (the timed tier sits below).
+            outcome.write_backs.append(eviction)
 
     # ------------------------------------------------------------------
     def replay(self, core_id: int, records) -> Tuple[List[TraceRecord], dict]:

@@ -1,0 +1,180 @@
+"""Pluggable replacement policies for the set-associative caches.
+
+`SetAssociativeCache` used to hard-code LRU victim selection; this module
+extracts the choice behind a small protocol so the DRAM tier (and the
+functional hierarchy) can swap policies the same way the memory
+controllers swap scheduler policies via ``systems.build_policies``.
+
+Three policies ship:
+
+* ``lru``   — least-recently-used, byte-identical to the historical
+  behaviour (victim = minimum ``last_use`` stamp).
+* ``clock`` — second-chance/CLOCK: one reference bit per line, a per-set
+  hand sweeps residency order and clears bits until it finds a line
+  whose bit is already clear.
+* ``mac``   — a MAC-style multilevel policy (after the multilevel access
+  counter caches of arXiv 1606.03248): each line carries a small access
+  level, hits promote it, and the victim is the lowest-level line with
+  LRU as the tie-break.  When every resident line has been promoted the
+  levels are renormalised, so the counters adapt instead of saturating.
+
+Per-line state lives in :attr:`CacheLine.policy_state` (an int the cache
+never interprets); per-set state lives inside the policy object.  All
+three are deterministic — no hash-order iteration, no RNG — so traces
+stay byte-identical across ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from repro.cache.cacheline import CacheLine
+
+
+class ReplacementPolicy:
+    """Victim selection + bookkeeping hooks for one cache instance.
+
+    One policy object serves one cache (it may keep per-set state), and
+    the cache calls exactly these hooks:
+
+    * :meth:`on_fill` — a line was allocated into ``set_index``.
+    * :meth:`on_hit` — a resident line was referenced.
+    * :meth:`victim` — pick which of ``entries`` to evict (the cache
+      removes it; ``entries`` is the set's residency-ordered list).
+    * :meth:`on_evict` — a line left the set (eviction or invalidation).
+    """
+
+    name = "base"
+
+    def on_fill(self, set_index: int, entry: CacheLine) -> None:
+        pass
+
+    def on_hit(self, set_index: int, entry: CacheLine) -> None:
+        pass
+
+    def victim(self, set_index: int, entries: List[CacheLine]) -> CacheLine:
+        raise NotImplementedError
+
+    def on_evict(self, set_index: int, entry: CacheLine) -> None:
+        pass
+
+
+class LruReplacement(ReplacementPolicy):
+    """Least-recently-used: evict the minimum ``last_use`` stamp.
+
+    The cache already stamps ``last_use`` on every access, so LRU needs
+    no hooks — this is exactly the victim rule ``SetAssociativeCache``
+    hard-coded before the protocol was extracted.
+    """
+
+    name = "lru"
+
+    def victim(self, set_index: int, entries: List[CacheLine]) -> CacheLine:
+        return min(entries, key=lambda e: e.last_use)
+
+
+class ClockReplacement(ReplacementPolicy):
+    """Second-chance (CLOCK): a per-set hand sweeps reference bits.
+
+    ``policy_state`` is the reference bit (set on fill and on hit).  The
+    hand walks the set's residency order, clearing set bits; the first
+    line found with a clear bit is the victim.  Bounded: after one full
+    sweep every bit is clear, so the walk terminates.
+    """
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._hands: Dict[int, int] = {}
+
+    def on_fill(self, set_index: int, entry: CacheLine) -> None:
+        entry.policy_state = 1
+
+    def on_hit(self, set_index: int, entry: CacheLine) -> None:
+        entry.policy_state = 1
+
+    def victim(self, set_index: int, entries: List[CacheLine]) -> CacheLine:
+        n = len(entries)
+        hand = self._hands.get(set_index, 0) % n
+        for _ in range(2 * n):
+            entry = entries[hand]
+            if not entry.policy_state:
+                self._hands[set_index] = hand
+                return entry
+            entry.policy_state = 0
+            hand = (hand + 1) % n
+        # Unreachable (one sweep clears every bit); keep a safe fallback.
+        return entries[hand]
+
+
+class MacReplacement(ReplacementPolicy):
+    """Multilevel access-counter policy (MAC-style, arXiv 1606.03248).
+
+    ``policy_state`` is the line's access level (0..levels-1): lines fill
+    at level 0, each hit promotes one level, and the victim is the line
+    with the lowest (level, last_use) pair — frequency first, recency as
+    the tie-break.  When the whole set has been promoted off level 0,
+    every level is shifted down by the set's minimum so the counters keep
+    discriminating instead of pinning at the ceiling.
+    """
+
+    name = "mac"
+
+    def __init__(self, levels: int = 4) -> None:
+        if levels < 2:
+            raise ValueError("mac replacement needs at least 2 levels")
+        self.levels = levels
+
+    def on_fill(self, set_index: int, entry: CacheLine) -> None:
+        entry.policy_state = 0
+
+    def on_hit(self, set_index: int, entry: CacheLine) -> None:
+        if entry.policy_state < self.levels - 1:
+            entry.policy_state += 1
+
+    def victim(self, set_index: int, entries: List[CacheLine]) -> CacheLine:
+        floor = min(e.policy_state for e in entries)
+        if floor > 0:
+            for entry in entries:
+                entry.policy_state -= floor
+        return min(entries, key=lambda e: (e.policy_state, e.last_use))
+
+
+#: name -> factory, mirroring how ``systems.build_policies`` maps feature
+#: flags to scheduler-policy chains.  Extend via
+#: :func:`register_replacement_policy`.
+REPLACEMENT_POLICIES: Dict[str, Callable[[], ReplacementPolicy]] = {
+    "lru": LruReplacement,
+    "clock": ClockReplacement,
+    "mac": MacReplacement,
+}
+
+#: Stable listing for CLI choices and docs.
+REPLACEMENT_POLICY_NAMES: List[str] = ["lru", "clock", "mac"]
+
+
+def register_replacement_policy(
+    name: str, factory: Callable[[], ReplacementPolicy]
+) -> None:
+    """Register a custom policy under ``name`` (overwrites existing)."""
+    REPLACEMENT_POLICIES[name] = factory
+    if name not in REPLACEMENT_POLICY_NAMES:
+        REPLACEMENT_POLICY_NAMES.append(name)
+
+
+def make_replacement_policy(
+    spec: Union[str, ReplacementPolicy, None],
+) -> ReplacementPolicy:
+    """Resolve a policy spec: a name, a ready policy object, or None (LRU)."""
+    if spec is None:
+        return LruReplacement()
+    if isinstance(spec, ReplacementPolicy):
+        return spec
+    try:
+        factory = REPLACEMENT_POLICIES[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {spec!r}; "
+            f"known: {sorted(REPLACEMENT_POLICIES)}"
+        ) from None
+    return factory()

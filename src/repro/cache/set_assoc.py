@@ -1,27 +1,38 @@
-"""Generic set-associative write-back cache with LRU replacement.
+"""Generic set-associative write-back cache with pluggable replacement.
 
 Used for the L1s, the shared L2, and the 256 MB DRAM cache of Table I.
-The model is functional (hit/miss/eviction), not timed — cache hit
-latencies are folded into the core's base CPI (DESIGN.md §5); what the
-memory study needs from the cache stack is the *filtering* of accesses
-and the per-word dirty masks of evicted lines.
+The model is functional (hit/miss/eviction): what the memory study needs
+from the cache stack is the *filtering* of accesses and the per-word
+dirty masks of evicted lines.  Timing belongs to the tier that wraps it —
+:class:`repro.cache.frontend.DramCacheFrontEnd` schedules hit/fill/
+write-back events on the shared engine (docs/FRONTEND.md).
+
+Victim selection is delegated to a :class:`ReplacementPolicy` (LRU by
+default, byte-identical to the historical hard-coded behaviour; CLOCK
+and MAC ship as alternatives — see :mod:`repro.cache.replacement`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.cache.cacheline import CacheLine, line_base, word_index
+from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
 from repro.memory.request import LINE_BYTES, WORDS_PER_LINE
 
 
 @dataclass(frozen=True)
 class Eviction:
-    """A line pushed out of the cache (write-back when dirty)."""
+    """A dirty line pushed out of the cache (a write-back).
+
+    Clean victims never materialise an ``Eviction``: they leave silently
+    and are tallied in :attr:`CacheStats.clean_evictions`, so every
+    object call sites receive represents real write-back traffic.
+    """
 
     address: int        #: line-aligned byte address
-    dirty_mask: int     #: per-word dirty bits (0 == clean eviction)
+    dirty_mask: int     #: per-word dirty bits (never 0)
     words: Optional[Tuple[int, ...]] = None
 
     @property
@@ -37,6 +48,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     dirty_evictions: int = 0
+    clean_evictions: int = 0    #: victims dropped without a write-back
 
     @property
     def accesses(self) -> int:
@@ -50,7 +62,7 @@ class CacheStats:
 
 
 class SetAssociativeCache:
-    """LRU set-associative cache over 64-byte lines."""
+    """Set-associative cache over 64-byte lines."""
 
     def __init__(
         self,
@@ -58,6 +70,7 @@ class SetAssociativeCache:
         associativity: int,
         name: str = "cache",
         track_words: bool = False,
+        policy: Union[str, ReplacementPolicy, None] = None,
     ):
         if size_bytes % (LINE_BYTES * associativity):
             raise ValueError(
@@ -70,6 +83,7 @@ class SetAssociativeCache:
         if self.n_sets < 1:
             raise ValueError(f"{name}: no sets")
         self.track_words = track_words
+        self.policy = make_replacement_policy(policy)
         self._sets: Dict[int, List[CacheLine]] = {}
         self._clock = 0
         self.stats = CacheStats()
@@ -101,11 +115,12 @@ class SetAssociativeCache:
         is_write: bool,
         value: Optional[int] = None,
     ) -> Tuple[bool, Optional[Eviction]]:
-        """One load/store.  Returns (hit, eviction-on-fill).
+        """One load/store.  Returns (hit, dirty-eviction-on-fill).
 
-        A miss allocates the line (write-allocate) and may evict the LRU
-        victim; the caller turns a dirty eviction into a write-back and a
-        miss into a fill from the next level.
+        A miss allocates the line (write-allocate) and may evict the
+        policy's victim; the caller turns a dirty eviction into a
+        write-back and a miss into a fill from the next level.  Clean
+        victims return ``None`` (counted in ``stats.clean_evictions``).
         """
         self._clock += 1
         set_index, tag = self._locate(address)
@@ -119,6 +134,7 @@ class SetAssociativeCache:
             assert entry is not None
         else:
             self.stats.hits += 1
+            self.policy.on_hit(set_index, entry)
         entry.touch(self._clock)
         if is_write:
             word = word_index(address)
@@ -128,31 +144,61 @@ class SetAssociativeCache:
                 entry.mark_dirty(word)
         return hit, evicted
 
+    def probe(self, address: int, dirty_mask: int = 0) -> Optional[CacheLine]:
+        """Line-granularity lookup for the timed tier.
+
+        On a hit: touch recency, run the policy's hit hook, merge
+        ``dirty_mask`` into the line, count a hit, and return the line.
+        On a miss: count a miss and return ``None`` *without allocating*
+        — the timed tier installs lines only when their PCM fill
+        completes (:meth:`install`), so a line is never visible before
+        its data could exist.
+        """
+        self._clock += 1
+        set_index, tag = self._locate(address)
+        entry = self._find(set_index, tag)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        entry.touch(self._clock)
+        if dirty_mask:
+            entry.dirty_mask |= dirty_mask
+        self.policy.on_hit(set_index, entry)
+        return entry
+
     def _fill(self, set_index: int, tag: int) -> Optional[Eviction]:
-        """Allocate (tag) in the set; returns the eviction if any."""
+        """Allocate (tag) in the set; returns the dirty eviction if any."""
         entries = self._sets.setdefault(set_index, [])
         evicted: Optional[Eviction] = None
         if len(entries) >= self.associativity:
-            victim = min(entries, key=lambda e: e.last_use)
+            victim = self.policy.victim(set_index, entries)
             entries.remove(victim)
+            self.policy.on_evict(set_index, victim)
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.dirty_evictions += 1
-            victim_line = (
-                victim.tag * self.n_sets + set_index
-            ) * LINE_BYTES
-            evicted = Eviction(victim_line, victim.dirty_mask, victim.words)
+                victim_line = (
+                    victim.tag * self.n_sets + set_index
+                ) * LINE_BYTES
+                evicted = Eviction(
+                    victim_line, victim.dirty_mask, victim.words
+                )
+            else:
+                self.stats.clean_evictions += 1
         words = None
         if self.track_words:
             words = tuple([0] * WORDS_PER_LINE)
-        entries.append(CacheLine(tag=tag, words=words, last_use=self._clock))
+        entry = CacheLine(tag=tag, words=words, last_use=self._clock)
+        entries.append(entry)
+        self.policy.on_fill(set_index, entry)
         return evicted
 
     # ------------------------------------------------------------------
     def install(
         self, address: int, words: Optional[Tuple[int, ...]] = None
     ) -> Optional[Eviction]:
-        """Fill a line without an access (e.g. inclusive back-fill)."""
+        """Fill a line without an access (fill completion, back-fill)."""
         self._clock += 1
         set_index, tag = self._locate(address)
         if self._find(set_index, tag) is not None:
@@ -166,6 +212,7 @@ class SetAssociativeCache:
         if entry is None:
             return None
         self._sets[set_index].remove(entry)
+        self.policy.on_evict(set_index, entry)
         if entry.dirty:
             self.stats.evictions += 1
             self.stats.dirty_evictions += 1

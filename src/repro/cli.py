@@ -4,10 +4,11 @@ Commands::
 
     python -m repro list-workloads
     python -m repro list-systems
-    python -m repro run --workload canneal --system rwow-rde [--requests N]
+    python -m repro run --workload canneal --system rwow-rde [--requests N] \\
+        [--front-end dram] [--replacement lru|clock|mac]
     python -m repro compare --workload canneal [--systems a,b,c]
     python -m repro sweep --workloads canneal,MP1 [--systems ...] \\
-        [--jobs N] [--no-cache] [--cache-dir DIR]
+        [--jobs N] [--no-cache] [--cache-dir DIR] [--front-end dram]
     python -m repro gen-trace --workload MP1 --count 1000 --out mp1.trace
     python -m repro trace --workload canneal --system rwow-rde \\
         --out run.trace.json [--jsonl run.jsonl] [--buffer N]
@@ -52,9 +53,12 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import format_table, percent
+from repro.cache.replacement import REPLACEMENT_POLICY_NAMES
 from repro.core.systems import (
     COMPARATOR_SYSTEM_NAMES,
+    FRONT_END_NAMES,
     SYSTEM_NAMES,
+    make_front_end,
     make_system,
 )
 from repro.sim.experiment import compare_systems, run_workload, sweep_workloads
@@ -72,11 +76,20 @@ from repro.trace.trace_io import save_trace
 from repro.trace.workloads import ALL_WORKLOADS, get_workload
 
 
+def _front_end(args: argparse.Namespace):
+    """Front-end config from the common CLI flags (default: direct path)."""
+    return make_front_end(
+        kind=getattr(args, "front_end", "none"),
+        replacement=getattr(args, "replacement", "lru"),
+    )
+
+
 def _params(args: argparse.Namespace) -> SimulationParams:
     return SimulationParams(
         target_requests=args.requests,
         seed=args.seed,
         n_cores=args.cores,
+        front_end=_front_end(args),
     )
 
 
@@ -125,6 +138,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_workload(args.workload, args.system, _params(args))
     print(format_table(_RESULT_HEADERS, [_result_row(result)],
                        title=f"workload {args.workload}"))
+    if result.frontend is not None:
+        f = result.frontend
+        print(f"\nfront end: {f['kind']}/{f['replacement']} "
+              f"hit rate {f['hit_rate']:.3f} "
+              f"({f['read_hits']}+{f['write_hits']} hits, "
+              f"{f['fills']} fills, {f['coalesced']} coalesced, "
+              f"{f['write_backs']} write-backs)")
     return 0
 
 
@@ -268,6 +288,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         n_cores=args.cores,
         sample_every_ticks=args.cadence,
         collect_metrics=True,
+        front_end=_front_end(args),
     )
     result = run_workload(args.workload, args.system, params)
     text = to_openmetrics(result.metrics)
@@ -497,6 +518,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="total main-memory requests to simulate")
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--cores", type=int, default=8)
+        p.add_argument("--front-end", dest="front_end",
+                       choices=FRONT_END_NAMES, default="none",
+                       help="simulated cache tier in front of PCM "
+                            "(default: none — the direct post-LLC path)")
+        p.add_argument("--replacement",
+                       choices=REPLACEMENT_POLICY_NAMES, default="lru",
+                       help="front-end replacement policy "
+                            "(only meaningful with --front-end dram)")
 
     run_p = sub.add_parser("run", help="one workload on one system")
     run_p.add_argument("--workload", required=True)

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List
 
+from repro.cache.dram_cache import DramCacheConfig
+from repro.cache.frontend import FRONT_END_KINDS, FrontEndConfig
 from repro.core.config import SystemConfig, pcmap_config
 
 if TYPE_CHECKING:
@@ -130,6 +132,63 @@ def make_system(name: str, **overrides) -> SystemConfig:
 def all_systems(**overrides) -> List[SystemConfig]:
     """All six systems with shared overrides applied."""
     return [make_system(name, **overrides) for name in SYSTEM_NAMES]
+
+
+# ======================================================================
+# Front-end (cache tier) composition
+# ======================================================================
+#: Front-end kinds the CLI and sweeps accept (mirrors the cache layer's
+#: :data:`~repro.cache.frontend.FRONT_END_KINDS` the way ``SYSTEM_NAMES``
+#: mirrors ``_FACTORIES``).
+FRONT_END_NAMES: List[str] = list(FRONT_END_KINDS)
+
+
+def make_front_end(
+    kind: str = "none", replacement: str = "lru", **overrides
+) -> FrontEndConfig:
+    """Build a front-end config by kind name.
+
+    ``kind="none"`` is the historical direct-to-PCM path (nothing is
+    constructed at run time); ``kind="dram"`` is the Table I 256 MB
+    DRAM cache as a timed tier.  ``replacement`` selects the eviction
+    policy plugin (:data:`~repro.cache.replacement.REPLACEMENT_POLICIES`).
+    Keyword overrides forward to :class:`FrontEndConfig` (``mshrs``,
+    ``writeback_buffer``) or, via ``dram_overrides`` semantics below,
+    to the embedded :class:`DramCacheConfig` (``size_bytes``,
+    ``associativity``, ``access_cycles``).
+    """
+    if kind not in FRONT_END_NAMES:
+        raise ValueError(
+            f"unknown front end {kind!r}; expected one of {FRONT_END_NAMES}"
+        )
+    dram_fields = {"size_bytes", "associativity", "access_cycles"}
+    dram_overrides = {
+        key: overrides.pop(key) for key in list(overrides)
+        if key in dram_fields
+    }
+    dram = DramCacheConfig(**dram_overrides)
+    return FrontEndConfig(
+        kind=kind, dram=dram, replacement=replacement, **overrides
+    )
+
+
+def front_end_for_system(
+    system_name: str, kind: str = "dram", replacement: str = "lru", **overrides
+) -> FrontEndConfig:
+    """Table I front-end config for one of the evaluated systems.
+
+    The paper holds the cache hierarchy constant across all six systems
+    (and both comparators) — the DRAM cache is part of the *platform*,
+    not the proposal — so every system maps to the same tier config and
+    this helper exists to validate the pairing and keep call sites
+    honest about which system a tier is being built for.
+    """
+    if system_name not in _FACTORIES:
+        raise ValueError(
+            f"unknown system {system_name!r}; expected one of "
+            f"{SYSTEM_NAMES + COMPARATOR_SYSTEM_NAMES}"
+        )
+    return make_front_end(kind=kind, replacement=replacement, **overrides)
 
 
 # ======================================================================

@@ -15,6 +15,11 @@ executes instructions at a base CPI and interacts with main memory through
 This captures exactly the couplings PCMap changes; everything else about
 the core (its base CPI) is held constant across systems, so IPC *ratios*
 — what the paper reports — are meaningful.
+
+The level below is any :class:`~repro.memory.port.MemoryPort` — the PCM
+:class:`~repro.memory.memsys.MainMemory` directly (the default), or the
+timed DRAM-cache front end when ``SimulationParams.front_end`` enables
+it; the core is identical either way.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.cpu.rollback import RollbackModel
-from repro.memory.memsys import MainMemory
+from repro.memory.port import MemoryPort
 from repro.memory.request import MemoryRequest, RequestKind
 from repro.sim.engine import Engine, ns_to_ticks
 from repro.trace.record import AccessKind, TraceRecord
@@ -57,7 +62,7 @@ class TraceCore:
         engine: Engine,
         core_id: int,
         records: Iterator[TraceRecord],
-        memory: MainMemory,
+        memory: MemoryPort,
         params: CoreParams,
         instruction_limit: int,
     ):

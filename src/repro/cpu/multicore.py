@@ -6,6 +6,7 @@ from typing import Callable, List, Optional
 
 from repro.cpu.core import CoreParams, TraceCore
 from repro.memory.memsys import MainMemory
+from repro.memory.port import MemoryPort
 from repro.memory.storage import MemoryStorage
 from repro.sim.engine import Engine
 from repro.trace.record import AccessKind, TraceRecord
@@ -54,9 +55,13 @@ class Multicore:
         params: Optional[CoreParams] = None,
         instructions_per_core: int = 100_000,
         seed: int = 1,
+        port: Optional[MemoryPort] = None,
     ):
         self.engine = engine
         self.memory = memory
+        #: What the cores actually submit to: ``memory`` itself, or the
+        #: timed DRAM-cache front end interposed by the simulator.
+        self.port: MemoryPort = port if port is not None else memory
         self.profile = profile
         self.params = params or CoreParams()
         self.cores: List[TraceCore] = []
@@ -84,7 +89,7 @@ class Multicore:
                 engine,
                 core_id,
                 generator.records(on_epoch=on_epoch),
-                memory,
+                self.port,
                 self.params,
                 instructions_per_core,
             )

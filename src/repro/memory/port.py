@@ -1,0 +1,45 @@
+"""Structural interface of anything that accepts main-memory requests.
+
+The trace cores talk to "memory" through exactly four members; both
+:class:`~repro.memory.memsys.MainMemory` and the timed DRAM tier
+(:class:`~repro.cache.frontend.DramCacheFrontEnd`) satisfy this shape,
+which is what lets the simulator interpose the tier without the cores
+changing at all.
+
+Contract notes:
+
+* ``submit`` may only be called after ``can_accept`` returned True in
+  the same engine step (controllers raise on overfull queues).
+* ``wait_for_space`` registrations are one-shot and may wake spuriously;
+  callers re-check ``can_accept`` and re-register if still blocked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.memory.request import MemoryRequest, RequestKind
+
+
+@runtime_checkable
+class MemoryPort(Protocol):
+    """What a request producer needs from the level below it."""
+
+    def can_accept(self, kind: RequestKind, address: int) -> bool:
+        """Whether a ``kind`` transaction to ``address`` can enter now."""
+        ...
+
+    def submit(self, request: MemoryRequest) -> None:
+        """Accept the request (``can_accept`` must have been True)."""
+        ...
+
+    def wait_for_space(
+        self, kind: RequestKind, address: int, callback: Callable[[], None]
+    ) -> None:
+        """One-shot wake-up when a blocked transaction may retry."""
+        ...
+
+    @property
+    def idle(self) -> bool:
+        """True when no transaction is queued or in flight."""
+        ...

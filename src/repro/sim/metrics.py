@@ -298,6 +298,10 @@ class SimulationResult:
     #: JSON-safe :meth:`TimeSeries.as_dict` dump, embedded when the run
     #: sampled (``sample_every_ticks`` set); ``None`` otherwise.
     timeseries: Optional[dict] = None
+    #: JSON-safe :meth:`DramCacheFrontEnd.summary` dump (hit/miss/fill/
+    #: write-back counters and tier config), embedded when the run was
+    #: launched with a simulated front end; ``None`` on the direct path.
+    frontend: Optional[dict] = None
 
     @property
     def ipc(self) -> float:

@@ -20,7 +20,9 @@ from typing import List, Union
 from repro.sim.metrics import MemoryStats, SimulationResult
 
 #: Schema 2 added the run manifest and the optional embedded
-#: ``metrics``/``timeseries`` sections; schema-1 files still load.
+#: ``metrics``/``timeseries`` sections; schema-1 files still load.  The
+#: optional ``frontend`` section (DRAM-tier summary) rides on schema 2:
+#: like metrics/timeseries it is additive and absent on direct-path runs.
 SCHEMA_VERSION = 2
 
 #: Older schemas :func:`result_from_dict` still accepts.
@@ -101,6 +103,8 @@ def result_to_dict(result: SimulationResult) -> dict:
         payload["metrics"] = result.metrics
     if result.timeseries is not None:
         payload["timeseries"] = result.timeseries
+    if result.frontend is not None:
+        payload["frontend"] = result.frontend
     return payload
 
 
@@ -130,6 +134,7 @@ def result_from_dict(data: dict) -> SimulationResult:
         seed=data.get("seed", -1),
         metrics=data.get("metrics"),
         timeseries=data.get("timeseries"),
+        frontend=data.get("frontend"),
     )
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.cache.frontend import DramCacheFrontEnd, FrontEndConfig
 from repro.core.config import SystemConfig
 from repro.cpu.core import CoreParams
 from repro.cpu.multicore import Multicore
@@ -50,6 +51,14 @@ class SimulationParams:
     #: Embed the final metrics-registry dump in the result (JSON-safe,
     #: survives pickling across sweep worker processes).
     collect_metrics: bool = False
+    #: Simulated cache front end between the cores and main memory.  The
+    #: default (``kind="none"``) builds nothing and keeps the run loop
+    #: byte-identical to the historical direct-to-PCM path — golden
+    #: traces and perf fingerprints are pinned against it.  With
+    #: ``kind="dram"`` the DRAM cache becomes a timed tier: hits complete
+    #: after ``access_cycles``, misses coalesce in MSHRs and fetch from
+    #: PCM, dirty evictions issue write-backs into the controller queues.
+    front_end: FrontEndConfig = FrontEndConfig()
 
     def resolve_instructions(self, workload: WorkloadProfile) -> int:
         """Per-core instruction budget for ``workload``."""
@@ -93,6 +102,18 @@ class SystemSimulator:
             self.engine, system, seed=self.params.seed,
             storage=storage, telemetry=self.telemetry,
         )
+        #: Timed DRAM-cache tier between the cores and PCM; ``None`` on
+        #: the default direct path (``front_end.kind == "none"``), where
+        #: nothing is constructed and the event stream stays bit-identical.
+        self.frontend: Optional[DramCacheFrontEnd] = None
+        if self.params.front_end.enabled:
+            self.frontend = DramCacheFrontEnd(
+                self.engine,
+                self.memory,
+                self.params.front_end,
+                cycle_ticks=self.params.core_params.cycle_ticks,
+                telemetry=self.telemetry,
+            )
         self.multicore = Multicore(
             self.engine,
             self.memory,
@@ -101,6 +122,7 @@ class SystemSimulator:
             params=self.params.core_params,
             instructions_per_core=self.params.resolve_instructions(workload),
             seed=self.params.seed,
+            port=self.frontend,
         )
 
     # ------------------------------------------------------------------
@@ -201,6 +223,19 @@ class SystemSimulator:
             lambda: sum(core.rollback_model.rollbacks for core in cores),
         )
         sampler.add_probe("irlp.recent", self._recent_irlp)
+        # DRAM-tier probes trail the fixed set and appear only when the
+        # front end is built, so direct-path column layouts are unchanged.
+        frontend = self.frontend
+        if frontend is not None:
+            sampler.add_probe(
+                "frontend.mshr.depth", lambda: frontend.mshr_depth
+            )
+            sampler.add_probe(
+                "frontend.writeback.depth", lambda: frontend.writeback_depth
+            )
+            sampler.add_probe(
+                "frontend.hit_rate", lambda: frontend.stats.hit_rate
+            )
         return sampler
 
     def _recent_irlp(self) -> float:
@@ -251,6 +286,8 @@ class SystemSimulator:
             result.metrics = self.telemetry.metrics.as_dict()
         if self.sampler is not None:
             result.timeseries = self.sampler.series.as_dict()
+        if self.frontend is not None:
+            result.frontend = self.frontend.summary()
         return result
 
 

@@ -34,6 +34,7 @@ class WorkloadKind(enum.Enum):
     MULTI_THREADED = "MT"    #: PARSEC-2, 8 threads
     MULTI_PROGRAM = "MP"     #: SPEC CPU 2006 8-application mixes
     SPEC_SINGLE = "SPEC"     #: single SPEC programs (Figures 1 and 2)
+    SERVER = "SRV"           #: server/database scenarios (front-end study)
 
 
 def _dist(*weights: float) -> Tuple[float, ...]:
@@ -336,8 +337,46 @@ STREAM_KERNELS: List[WorkloadProfile] = [
 ]
 
 
+# ---------------------------------------------------------------------------
+# Server/database scenarios (front-end study).  Not from the paper's
+# Table II: these model the workload class a deployed PCM main memory
+# actually serves — huge footprints that defeat a 256 MB DRAM cache,
+# skewed record reuse that a replacement policy can exploit, and small
+# in-place record updates (1-2 dirty words dominate).  They exist to
+# exercise the simulated cache tier: reuse-vs-scan balance is what
+# separates LRU, CLOCK and MAC behind the filter.
+# ---------------------------------------------------------------------------
+
+SERVER_WORKLOADS: List[WorkloadProfile] = [
+    WorkloadProfile(
+        "oltp", WorkloadKind.SERVER, rpki=10.5, wpki=4.8,
+        dirty_word_distribution=_dist(8, 44, 24, 9, 6, 4, 2, 1, 2),
+        sequential_fraction=0.15, stream_count=8,
+        footprint_lines=1 << 20, write_read_affinity=0.6,
+        write_burst_mean=2.0,
+        description="OLTP-style: random record touches, tiny in-place updates",
+    ),
+    WorkloadProfile(
+        "webserve", WorkloadKind.SERVER, rpki=7.8, wpki=1.9,
+        dirty_word_distribution=_dist(12, 36, 22, 10, 8, 5, 3, 2, 2),
+        sequential_fraction=0.35, stream_count=6,
+        footprint_lines=1 << 19, write_read_affinity=0.4,
+        description="web serving: read-mostly with hot-object reuse",
+    ),
+    WorkloadProfile(
+        "kvstore", WorkloadKind.SERVER, rpki=12.6, wpki=6.2,
+        dirty_word_distribution=_dist(6, 40, 26, 11, 7, 4, 3, 1, 2),
+        sequential_fraction=0.1, stream_count=8,
+        footprint_lines=1 << 21, write_read_affinity=0.7,
+        write_burst_mean=2.0,
+        description="key-value store: uniform-ish gets/puts, huge footprint",
+    ),
+]
+
+
 ALL_WORKLOADS: List[WorkloadProfile] = (
     MULTI_THREADED + MULTI_PROGRAM + SPEC_SINGLES + STREAM_KERNELS
+    + SERVER_WORKLOADS
 )
 
 _REGISTRY: Dict[str, WorkloadProfile] = {w.name: w for w in ALL_WORKLOADS}

@@ -118,3 +118,46 @@ def test_per_core_l1s_are_private():
     outcome = hierarchy.reference(1, 0, False)
     # Core 1 misses its own L1 but finds the line below.
     assert outcome.hit_level in ("l2", "dram")
+
+
+def _post_l2_hierarchy():
+    """No functional DRAM level: the post-L2 stream is the boundary."""
+    return CacheHierarchy(
+        n_cores=1,
+        config=HierarchyConfig(
+            l1_size=4 * LINE,
+            l1_associativity=2,
+            l2_size=16 * LINE,
+            l2_associativity=2,
+            dram_cache=None,
+        ),
+    )
+
+
+def test_dramless_hierarchy_misses_straight_to_memory():
+    hierarchy = _post_l2_hierarchy()
+    assert hierarchy.dram is None
+    outcome = hierarchy.reference(0, 0x1000, False)
+    assert outcome.hit_level == "memory"
+    assert outcome.fills == [0x1000]
+
+
+def test_dramless_hierarchy_emits_l2_evictions_as_write_backs():
+    hierarchy = _post_l2_hierarchy()
+    masks = []
+    for i in range(400):
+        outcome = hierarchy.reference(0, i * LINE + 8 * 2, is_write=True)
+        assert outcome.hit_level in ("l1", "l2", "memory")  # never "dram"
+        for wb in outcome.write_backs:
+            masks.append(wb.dirty_mask)
+    assert masks, "expected post-L2 write-backs"
+    assert all(mask & (1 << 2) for mask in masks)
+
+
+def test_hierarchy_replacement_policy_threads_to_every_level():
+    hierarchy = CacheHierarchy(
+        n_cores=1, config=HierarchyConfig(replacement="clock")
+    )
+    assert hierarchy.l1s[0].policy.name == "clock"
+    assert hierarchy.l2.policy.name == "clock"
+    assert hierarchy.dram.cache.policy.name == "clock"

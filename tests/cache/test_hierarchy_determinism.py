@@ -1,0 +1,66 @@
+"""Determinism of the cache hierarchy across interpreter hash seeds.
+
+The hierarchy (and the replacement policies behind it) must never iterate
+a hash-ordered container on a decision path: the same trace and config
+must produce a byte-identical write-back stream whatever PYTHONHASHSEED
+the interpreter started with.  Mirrors the synthetic-trace pin in
+``tests/trace/test_synthetic.py``.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+_SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: Replays a deterministic pseudo-random access pattern through a tiny
+#: three-level hierarchy and hashes the resulting memory-level stream —
+#: fills, write-back addresses AND masks, in order.
+_SCRIPT = """
+import hashlib
+from repro.cache.dram_cache import DramCacheConfig
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+
+LINE = 64
+hierarchy = CacheHierarchy(
+    n_cores=2,
+    config=HierarchyConfig(
+        l1_size=4 * LINE, l1_associativity=2,
+        l2_size=16 * LINE, l2_associativity=2,
+        dram_cache=DramCacheConfig(size_bytes=64 * LINE, associativity=2),
+        replacement={policy!r},
+    ),
+)
+h = hashlib.sha256()
+state = 12345
+for i in range(4000):
+    state = (state * 1103515245 + 12345) % (1 << 31)
+    address = (state % 512) * LINE + (state % 8) * 8
+    outcome = hierarchy.reference(i % 2, address, is_write=(state % 3 == 0))
+    h.update(repr((outcome.hit_level, tuple(outcome.fills))).encode())
+    for wb in outcome.write_backs:
+        h.update(repr((wb.address, wb.dirty_mask)).encode())
+print(h.hexdigest())
+"""
+
+
+@pytest.mark.parametrize("policy", ["lru", "clock", "mac"])
+def test_writeback_stream_identical_across_hash_seeds(policy):
+    digests = set()
+    for hash_seed in ("0", "1", "31337"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-c", _SCRIPT.format(policy=policy)],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        digests.add(proc.stdout.strip())
+    assert len(digests) == 1, (
+        f"{policy} hierarchy stream depends on PYTHONHASHSEED: {digests}"
+    )

@@ -34,8 +34,8 @@ def test_same_line_different_bytes_hit():
 
 def test_lru_eviction_order():
     cache = _small_cache(sets=1, assoc=2)
-    cache.access(0 * LINE, False)      # A
-    cache.access(1 * LINE, False)      # B
+    cache.access(0 * LINE, True)       # A (dirty, so its eviction shows)
+    cache.access(1 * LINE, True)       # B (dirty)
     cache.access(0 * LINE, False)      # touch A -> B is LRU
     _hit, evicted = cache.access(2 * LINE, False)  # C evicts B
     assert evicted is not None
@@ -44,12 +44,14 @@ def test_lru_eviction_order():
     assert not cache.contains(1 * LINE)
 
 
-def test_clean_eviction_has_empty_mask():
+def test_clean_eviction_returns_none_and_counts():
     cache = _small_cache(sets=1, assoc=1)
     cache.access(0, False)
     _hit, evicted = cache.access(LINE, False)
-    assert evicted is not None
-    assert not evicted.dirty
+    assert evicted is None
+    assert cache.stats.evictions == 1
+    assert cache.stats.clean_evictions == 1
+    assert cache.stats.dirty_evictions == 0
 
 
 def test_dirty_eviction_carries_word_mask():

@@ -28,6 +28,35 @@ def test_run_command(capsys):
     assert "IPC" in out and "baseline" in out
 
 
+def test_run_command_with_front_end(capsys):
+    assert main([
+        "run", "--workload", "MP3", "--system", "baseline",
+        "--requests", "300", "--cores", "2", "--seed", "7",
+        "--front-end", "dram", "--replacement", "mac",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "front end: dram/mac" in out
+    assert "hit rate" in out
+
+
+def test_run_command_rejects_unknown_replacement():
+    with pytest.raises(SystemExit):
+        main([
+            "run", "--workload", "MP3",
+            "--front-end", "dram", "--replacement", "mru",
+        ])
+
+
+def test_sweep_command_with_front_end(capsys):
+    assert main([
+        "sweep", "--workloads", "MP3", "--systems", "baseline",
+        "--requests", "300", "--cores", "2", "--jobs", "1",
+        "--no-cache", "--quiet", "--front-end", "dram",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "workload MP3" in out
+
+
 def test_compare_command(capsys):
     assert main([
         "compare", "--workload", "MP3",
