@@ -1,0 +1,27 @@
+"""Array-backed front-end tier microbenchmark.
+
+Times warm hit-heavy epochs through the columnar array backend
+(``access_batch`` at the simulator's on_epoch window) against the
+per-access loop on the historical object backend, at the paper-scale
+256 MB Table I geometry; the ratio is the machine-independent
+array-tier speedup gated (>=5x) in BENCH_perf.json on numpy builds.
+On a scalar-only build the report carries the object timing alone.
+"""
+
+from repro.ecc import batch
+from repro.perf import bench_frontend_access
+
+from benchmarks.common import write_report
+from benchmarks.perf.common import PERF_SEED, report_text
+
+
+def test_perf_frontend_access(benchmark):
+    report = benchmark.pedantic(
+        lambda: bench_frontend_access(PERF_SEED), rounds=1, iterations=1
+    )
+    write_report(
+        "perf_frontend_access",
+        report_text(report, "perf: array-backed front-end tier"),
+    )
+    if batch.HAS_NUMPY:
+        assert report.metrics["batch_vs_object"] >= 5.0

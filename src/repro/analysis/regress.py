@@ -55,10 +55,33 @@ _REGISTRY_METRICS = (
 FLOAT_REL_TOL = 1e-6
 
 
-def fingerprint_params(smoke: bool = False, seed: int = FINGERPRINT_SEED):
+#: Front-end summary counters pinned by the frontend fingerprint leg
+#: (all integer-deterministic for a given seed/budget).
+_FRONTEND_SUMMARY_KEYS = (
+    "reads",
+    "writes",
+    "read_hits",
+    "read_misses",
+    "write_hits",
+    "write_misses",
+    "coalesced",
+    "fills",
+    "write_backs",
+    "fill_rollbacks",
+)
+
+
+def fingerprint_params(
+    smoke: bool = False,
+    seed: int = FINGERPRINT_SEED,
+    front_end=None,
+):
     """Observability-enabled params of the reference run."""
     from repro.sim.simulator import SimulationParams
 
+    kwargs = {}
+    if front_end is not None:
+        kwargs["front_end"] = front_end
     return SimulationParams(
         target_requests=(
             SMOKE_TARGET_REQUESTS if smoke else FULL_TARGET_REQUESTS
@@ -66,6 +89,7 @@ def fingerprint_params(smoke: bool = False, seed: int = FINGERPRINT_SEED):
         seed=seed,
         sample_every_ticks=DEFAULT_CADENCE_TICKS,
         collect_metrics=True,
+        **kwargs,
     )
 
 
@@ -84,6 +108,11 @@ def fingerprint_from_result(result: SimulationResult, smoke: bool) -> dict:
             metrics[f"read.latency_ns.{key}"] = latency[key]
     metrics["irlp_average"] = result.irlp_average
     metrics["delayed_read_fraction"] = result.memory.delayed_read_fraction
+    if result.frontend is not None:
+        for key in _FRONTEND_SUMMARY_KEYS:
+            if key in result.frontend:
+                metrics[f"frontend.{key}"] = result.frontend[key]
+        metrics["frontend.hit_rate"] = result.frontend["hit_rate"]
     return {
         "config": {
             "system": result.system_name,
@@ -93,6 +122,9 @@ def fingerprint_from_result(result: SimulationResult, smoke: bool) -> dict:
             ),
             "seed": result.seed,
             "sample_every_ticks": DEFAULT_CADENCE_TICKS,
+            "front_end": (
+                result.frontend["kind"] if result.frontend else "none"
+            ),
         },
         "metrics": metrics,
     }
@@ -111,11 +143,41 @@ def collect_fingerprint(
     return fingerprint_from_result(result, smoke)
 
 
+def collect_frontend_fingerprint(
+    smoke: bool = False, seed: int = FINGERPRINT_SEED
+) -> dict:
+    """Fingerprint of the reference run with the timed DRAM tier in front.
+
+    Same system/workload/budget as :func:`collect_fingerprint` but with
+    ``front_end=dram`` (array-backed at paper defaults), so the pinned
+    metrics additionally carry the tier's hit/miss/fill/write-back
+    scoreboard.  This is the leg that holds the array tier — and the
+    batched epoch classification riding the on_epoch hook —
+    behaviourally frozen across revisions.
+    """
+    from repro.core.systems import make_front_end, make_rwow_rde
+    from repro.sim.simulator import simulate
+
+    result = simulate(
+        make_rwow_rde(),
+        "canneal",
+        fingerprint_params(smoke, seed, front_end=make_front_end("dram")),
+    )
+    return fingerprint_from_result(result, smoke)
+
+
 def collect_fingerprints(seed: int = FINGERPRINT_SEED) -> dict:
-    """Both budgets, keyed ``smoke``/``full`` — what BENCH_perf.json pins."""
+    """Every pinned leg, keyed by budget — what BENCH_perf.json carries.
+
+    ``smoke``/``full`` are the historical direct-path legs;
+    ``frontend_smoke``/``frontend_full`` run the same reference
+    configuration through the timed DRAM tier.
+    """
     return {
         "smoke": collect_fingerprint(smoke=True, seed=seed),
         "full": collect_fingerprint(smoke=False, seed=seed),
+        "frontend_smoke": collect_frontend_fingerprint(smoke=True, seed=seed),
+        "frontend_full": collect_frontend_fingerprint(smoke=False, seed=seed),
     }
 
 
@@ -193,8 +255,10 @@ def format_comparison(
 # ----------------------------------------------------------------------
 # Baseline file plumbing
 # ----------------------------------------------------------------------
-def load_baseline(path: Union[str, Path], smoke: bool) -> dict:
-    """The pinned fingerprint for one budget from BENCH_perf.json."""
+def load_baseline(
+    path: Union[str, Path], smoke: bool, frontend: bool = False
+) -> dict:
+    """The pinned fingerprint for one budget/leg from BENCH_perf.json."""
     with open(path) as handle:
         payload = json.load(handle)
     section = payload.get("metrics_fingerprint")
@@ -203,14 +267,14 @@ def load_baseline(path: Union[str, Path], smoke: bool) -> dict:
             f"{path} has no metrics_fingerprint section; run "
             f"`repro regress --update` (or regenerate the perf suite)"
         )
-    key = "smoke" if smoke else "full"
+    key = ("frontend_" if frontend else "") + ("smoke" if smoke else "full")
     if key not in section:
         raise ValueError(f"{path} metrics_fingerprint lacks {key!r} budget")
     return section[key]
 
 
 def update_baseline(path: Union[str, Path], seed: int = FINGERPRINT_SEED) -> dict:
-    """Re-pin both budget fingerprints in BENCH_perf.json (atomic)."""
+    """Re-pin every budget/leg fingerprint in BENCH_perf.json (atomic)."""
     from repro.sim.results_io import atomic_write_text
 
     path = Path(path)

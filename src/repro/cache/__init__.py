@@ -19,7 +19,14 @@ from repro.cache.replacement import (
     make_replacement_policy,
     register_replacement_policy,
 )
-from repro.cache.set_assoc import CacheStats, Eviction, SetAssociativeCache
+from repro.cache.array_backend import ArraySetCache
+from repro.cache.set_assoc import (
+    CACHE_BACKENDS,
+    CacheStats,
+    Eviction,
+    SetAssociativeCache,
+    make_set_cache,
+)
 
 __all__ = [
     "CacheLine",
@@ -42,7 +49,10 @@ __all__ = [
     "ReplacementPolicy",
     "make_replacement_policy",
     "register_replacement_policy",
+    "ArraySetCache",
+    "CACHE_BACKENDS",
     "CacheStats",
     "Eviction",
     "SetAssociativeCache",
+    "make_set_cache",
 ]

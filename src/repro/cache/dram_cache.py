@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
 from repro.cache.replacement import ReplacementPolicy
-from repro.cache.set_assoc import Eviction, SetAssociativeCache
+from repro.cache.set_assoc import Eviction, make_set_cache
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,19 @@ class DramCacheConfig:
     #: latency is folded into the core's base CPI instead (DESIGN.md §5).
     access_cycles: int = 100
 
+    def __post_init__(self) -> None:
+        if self.size_bytes < 64 * self.associativity:
+            raise ValueError(
+                "dram cache smaller than one set "
+                f"({self.size_bytes} bytes, {self.associativity}-way)"
+            )
+        if self.size_bytes % (64 * self.associativity):
+            raise ValueError(
+                "dram cache size must be a multiple of line x associativity"
+            )
+        if self.access_cycles < 1:
+            raise ValueError("dram cache access_cycles must be >= 1")
+
 
 class DramCache:
     """Last-level (DRAM) cache in front of the PCM main memory."""
@@ -45,14 +58,16 @@ class DramCache:
         config: Optional[DramCacheConfig] = None,
         track_words: bool = False,
         policy: Union[str, ReplacementPolicy, None] = None,
+        backend: str = "auto",
     ):
         self.config = config or DramCacheConfig()
-        self.cache = SetAssociativeCache(
+        self.cache = make_set_cache(
             self.config.size_bytes,
             self.config.associativity,
             name="dram-cache",
             track_words=track_words,
             policy=policy,
+            backend=backend,
         )
         #: Dirty evictions produced so far (the PCM write-back stream).
         self.write_backs: int = 0
@@ -75,18 +90,19 @@ class DramCache:
         return hit, write_backs
 
     def flush(self) -> List[Eviction]:
-        """Evict every dirty line (end-of-run write-back drain)."""
+        """Evict every dirty line (end-of-run write-back drain).
+
+        Backend-agnostic: both backends enumerate dirty lines in the
+        same canonical order (first-fill order of sets, residency order
+        within each set), so the drained stream is identical whichever
+        representation backs the cache.
+        """
         drained: List[Eviction] = []
-        for set_index in list(self.cache._sets):
-            for entry in list(self.cache._sets[set_index]):
-                if entry.dirty:
-                    line_address = (
-                        entry.tag * self.cache.n_sets + set_index
-                    ) * 64
-                    eviction = self.cache.invalidate(line_address)
-                    if eviction is not None:
-                        self.write_backs += 1
-                        drained.append(eviction)
+        for line_address in self.cache.dirty_lines():
+            eviction = self.cache.invalidate(line_address)
+            if eviction is not None:
+                self.write_backs += 1
+                drained.append(eviction)
         return drained
 
     @property

@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
 from repro.cache.dram_cache import DramCache, DramCacheConfig
 from repro.cache.replacement import REPLACEMENT_POLICIES
-from repro.cache.set_assoc import Eviction
+from repro.cache.set_assoc import CACHE_BACKENDS, Eviction
 from repro.memory.request import MemoryRequest, RequestKind
 from repro.telemetry import Telemetry
 
@@ -76,6 +76,12 @@ class FrontEndConfig:
     #: Tier-side write-back buffer entries (evictions waiting to enter a
     #: controller write queue).
     writeback_buffer: int = 16
+    #: Storage backend of the tier's cache (``repro.cache.set_assoc.
+    #: CACHE_BACKENDS``): ``"auto"`` uses the columnar array backend for
+    #: the builtin replacement policies (the only practical choice at
+    #: the paper-scale 256 MB configuration) and the object backend for
+    #: custom registered policies; both produce bit-identical streams.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.kind not in FRONT_END_KINDS:
@@ -92,10 +98,20 @@ class FrontEndConfig:
             raise ValueError("front end needs at least one MSHR")
         if self.writeback_buffer < 1:
             raise ValueError("front end needs at least one write-back slot")
+        if self.backend not in CACHE_BACKENDS:
+            raise ValueError(
+                f"unknown cache backend {self.backend!r}; "
+                f"expected one of {CACHE_BACKENDS}"
+            )
 
     @property
     def enabled(self) -> bool:
         return self.kind != "none"
+
+    @property
+    def capacity_mb(self) -> float:
+        """Tier capacity in MiB (the ``--frontend-mb`` sizing knob)."""
+        return self.dram.size_bytes / (1024 * 1024)
 
 
 @dataclass
@@ -180,7 +196,9 @@ class DramCacheFrontEnd:
         self.telemetry = (
             telemetry if telemetry is not None else Telemetry.disabled()
         )
-        self.dram = DramCache(config.dram, policy=config.replacement)
+        self.dram = DramCache(
+            config.dram, policy=config.replacement, backend=config.backend
+        )
         #: Engine ticks a tier hit takes — ``access_cycles`` expressed in
         #: CPU cycles of the core clock this tier serves.
         self.hit_ticks = config.dram.access_cycles * cycle_ticks
@@ -279,6 +297,50 @@ class DramCacheFrontEnd:
         }
 
     # ------------------------------------------------------------------
+    # Epoch-batched classification (PR 7's on_epoch hook, tier-aware)
+    # ------------------------------------------------------------------
+    def make_epoch_hook(self, storage) -> Optional[Callable]:
+        """Per-epoch hook classifying a whole epoch in one batched pass.
+
+        The trace generators hand each freshly generated epoch (256
+        records) to this hook before the cores consume it.  The tier
+        classifies every address against the cache's *current* state in
+        one vectorized pass (:meth:`ArraySetCache.classify_batch`; a
+        scalar scan without numpy) and prefetch-materialises only the
+        predicted-miss lines — the lines whose PCM fills the tier will
+        issue.  The classification is advisory by design: tier state
+        moves between generation and consumption (in-flight MSHR fills),
+        so the real per-event probes still decide hits and misses.  A
+        predicted miss that turns out to hit was resident, hence already
+        materialised by its own fill — prefetching it again is a no-op —
+        so steering never materialises a line the run leaves cold, and
+        ``storage.prefetch`` is semantically invisible either way.
+
+        Mirrors ``repro.cpu.multicore._epoch_prefetcher``'s guard: plain
+        :class:`~repro.memory.storage.MemoryStorage` only (the
+        fault-injecting subclass sweeps every materialised line through
+        its oracle), else ``None``.
+        """
+        from repro.memory.storage import MemoryStorage
+
+        if type(storage) is not MemoryStorage:
+            return None
+        cache = self.dram.cache
+
+        def classify_and_prefetch(records) -> None:
+            addresses = [record.address for record in records]
+            hits = cache.classify_batch(addresses)
+            storage.prefetch(
+                {
+                    address // 64
+                    for address, hit in zip(addresses, hits)
+                    if not hit
+                }
+            )
+
+        return classify_and_prefetch
+
+    # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
     def _submit_read(self, request: MemoryRequest) -> None:
@@ -366,9 +428,7 @@ class DramCacheFrontEnd:
     def _on_fill_complete(self, fill: MemoryRequest) -> None:
         miss = self._mshrs.pop(fill.address)
         evicted = self.dram.cache.install(fill.address)
-        line = self.dram.cache.line_state(fill.address)
-        if miss.pending_mask and line is not None:
-            line.dirty_mask |= miss.pending_mask
+        self.dram.cache.merge_dirty(fill.address, miss.pending_mask)
         now = self.engine.now
         for waiter in miss.waiting_reads:
             waiter.complete(now)

@@ -135,16 +135,12 @@ class CacheHierarchy:
             # Write-back from an L1 lands in the L2; the L2 line inherits
             # the dirty words.
             _hit, l2_evicted = self.l2.access(eviction.address, True)
-            line = self.l2.line_state(eviction.address)
-            if line is not None:
-                line.dirty_mask |= eviction.dirty_mask
+            self.l2.merge_dirty(eviction.address, eviction.dirty_mask)
             self._spill(l2_evicted, outcome, into_l2=False)
         elif self.dram is not None:
             # Write-back from the L2 lands in the DRAM cache.
             _hit, write_backs = self.dram.access(eviction.address, True)
-            line = self.dram.cache.line_state(eviction.address)
-            if line is not None:
-                line.dirty_mask |= eviction.dirty_mask
+            self.dram.cache.merge_dirty(eviction.address, eviction.dirty_mask)
             outcome.write_backs.extend(write_backs)
         else:
             # No functional DRAM level: the L2 eviction *is* the

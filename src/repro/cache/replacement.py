@@ -162,6 +162,120 @@ def register_replacement_policy(
         REPLACEMENT_POLICY_NAMES.append(name)
 
 
+# ======================================================================
+# Array-resident mirrors of the builtin policies
+# ======================================================================
+# The columnar :class:`~repro.cache.array_backend.ArraySetCache` keeps
+# per-line policy state in a flat int array (the same information
+# :attr:`CacheLine.policy_state` carries) and per-set CLOCK hands in an
+# array indexed by set.  These ops objects are the builtin policies
+# re-expressed as index arithmetic over those slabs — victim selection
+# walks ``[base, base + count)`` of the set's residency-ordered slab, so
+# the choice (including first-minimum tie-breaks and hand positions) is
+# bit-identical to the object policies walking the per-set list.
+#
+# The registry itself is unchanged: caches still resolve policies via
+# :data:`REPLACEMENT_POLICIES` / :func:`make_replacement_policy`; the
+# array backend merely asks :func:`array_policy_ops` whether the
+# *resolved* policy has an array mirror.  Custom registered policies
+# return ``None`` and fall back to the object backend.
+
+#: Per-hit state transitions the array cache inlines (no method call on
+#: the hit path): 0 — none (LRU), 1 — set reference bit (CLOCK),
+#: 2 — saturating level increment (MAC, bound in ``mac_top``).
+HIT_NONE, HIT_CLOCK, HIT_MAC = 0, 1, 2
+
+
+class _LruArrayOps:
+    """LRU over the slab: victim = first way with minimal ``last_use``."""
+
+    hit_code = HIT_NONE
+    fill_state = 0
+    mac_top = 0
+
+    def victim(self, last_use, policy, hands, set_index, base, count) -> int:
+        best = base
+        best_use = last_use[base]
+        for i in range(base + 1, base + count):
+            if last_use[i] < best_use:
+                best_use = last_use[i]
+                best = i
+        return best - base
+
+
+class _ClockArrayOps:
+    """CLOCK over the slab: the per-set hand lives in ``hands[set_index]``.
+
+    Identical to :class:`ClockReplacement` including its quirk that the
+    stored hand is *not* adjusted when the victim's removal shifts the
+    residency order — the object policy keeps the raw index too, so the
+    sweeps stay in lockstep.
+    """
+
+    hit_code = HIT_CLOCK
+    fill_state = 1
+    mac_top = 0
+
+    def victim(self, last_use, policy, hands, set_index, base, count) -> int:
+        n = count
+        hand = hands[set_index] % n
+        for _ in range(2 * n):
+            i = base + hand
+            if not policy[i]:
+                hands[set_index] = hand
+                return hand
+            policy[i] = 0
+            hand = (hand + 1) % n
+        # Unreachable (one sweep clears every bit); keep a safe fallback.
+        return hand
+
+
+class _MacArrayOps:
+    """MAC over the slab: renormalise by the floor, then (level, last_use)."""
+
+    hit_code = HIT_MAC
+    fill_state = 0
+
+    def __init__(self, levels: int):
+        self.mac_top = levels - 1
+
+    def victim(self, last_use, policy, hands, set_index, base, count) -> int:
+        end = base + count
+        floor = min(policy[base:end])
+        if floor > 0:
+            for i in range(base, end):
+                policy[i] -= floor
+        best = base
+        best_level = policy[base]
+        best_use = last_use[base]
+        for i in range(base + 1, end):
+            level = policy[i]
+            if level < best_level or (
+                level == best_level and last_use[i] < best_use
+            ):
+                best_level = level
+                best_use = last_use[i]
+                best = i
+        return best - base
+
+
+def array_policy_ops(policy: ReplacementPolicy):
+    """Array mirror for a *resolved* builtin policy, or ``None``.
+
+    Exact-type matches only: a subclass may override hooks the mirror
+    would silently drop, so anything but the three builtins (custom
+    registrations included) stays on the object backend.
+    """
+    kind = type(policy)
+    if kind is LruReplacement:
+        return _LruArrayOps()
+    if kind is ClockReplacement:
+        return _ClockArrayOps()
+    if kind is MacReplacement:
+        return _MacArrayOps(policy.levels)
+    return None
+
+
 def make_replacement_policy(
     spec: Union[str, ReplacementPolicy, None],
 ) -> ReplacementPolicy:

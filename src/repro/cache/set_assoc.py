@@ -108,6 +108,19 @@ class SetAssociativeCache:
         set_index, tag = self._locate(address)
         return self._find(set_index, tag)
 
+    def merge_dirty(self, address: int, dirty_mask: int) -> None:
+        """OR ``dirty_mask`` into the resident line (no-op on a miss).
+
+        The backend-neutral way to inherit dirty words (spills, MSHR
+        pending masks): the array backend's ``line_state`` returns a
+        snapshot, so callers must not mutate that.
+        """
+        if not dirty_mask:
+            return
+        entry = self.line_state(address)
+        if entry is not None:
+            entry.dirty_mask |= dirty_mask
+
     # ------------------------------------------------------------------
     def access(
         self,
@@ -225,3 +238,96 @@ class SetAssociativeCache:
 
     def resident_lines(self) -> int:
         return sum(len(entries) for entries in self._sets.values())
+
+    def dirty_lines(self) -> List[int]:
+        """Addresses of dirty resident lines, in drain order.
+
+        Order is first-fill order of sets (dict insertion order), then
+        residency order within each set — the order the DRAM cache's
+        flush has always used, and the order the array backend mirrors.
+        """
+        addresses: List[int] = []
+        for set_index, entries in self._sets.items():
+            for entry in entries:
+                if entry.dirty:
+                    addresses.append(
+                        (entry.tag * self.n_sets + set_index) * LINE_BYTES
+                    )
+        return addresses
+
+    # ------------------------------------------------------------------
+    # Batch entry points (scalar here; vectorized on the array backend)
+    # ------------------------------------------------------------------
+    def classify_batch(self, addresses: List[int]) -> List[bool]:
+        """Advisory hit/miss classification (read-only, no bookkeeping)."""
+        return [self.contains(address) for address in addresses]
+
+    def access_batch(
+        self,
+        addresses: List[int],
+        writes: List[bool],
+        values: Optional[List[Optional[int]]] = None,
+    ) -> Tuple[List[bool], List[Optional[Eviction]]]:
+        """Run a batch of accesses; per-access (hits, evictions) aligned
+        with the input — definitionally the scalar loop."""
+        hits: List[bool] = []
+        evictions: List[Optional[Eviction]] = []
+        for i, address in enumerate(addresses):
+            value = values[i] if values is not None else None
+            hit, evicted = self.access(address, writes[i], value)
+            hits.append(hit)
+            evictions.append(evicted)
+        return hits, evictions
+
+
+# ======================================================================
+# Backend selection
+# ======================================================================
+#: Recognised backend specs for :func:`make_set_cache`.
+CACHE_BACKENDS = ("auto", "array", "object")
+
+
+def make_set_cache(
+    size_bytes: int,
+    associativity: int,
+    name: str = "cache",
+    track_words: bool = False,
+    policy: Union[str, ReplacementPolicy, None] = None,
+    backend: str = "auto",
+):
+    """Build a set-associative cache, choosing the storage backend.
+
+    ``"array"`` is the columnar backend
+    (:class:`~repro.cache.array_backend.ArraySetCache`): flat
+    tag/recency/dirty/policy columns, index-arithmetic probes, batched
+    classification — the only practical representation at Table I's
+    256 MB scale.  ``"object"`` is the historical per-line
+    :class:`CacheLine` representation.  ``"auto"`` (the default) picks
+    the array backend whenever the resolved replacement policy is one
+    of the three builtins it mirrors bit-identically, and falls back to
+    the object backend for custom registered policies.  Direct
+    ``SetAssociativeCache(...)`` construction remains object-backed.
+    """
+    if backend not in CACHE_BACKENDS:
+        raise ValueError(
+            f"unknown cache backend {backend!r}; "
+            f"expected one of {CACHE_BACKENDS}"
+        )
+    if backend == "object":
+        return SetAssociativeCache(
+            size_bytes, associativity, name=name,
+            track_words=track_words, policy=policy,
+        )
+    from repro.cache.array_backend import ArraySetCache
+    from repro.cache.replacement import array_policy_ops
+
+    resolved = make_replacement_policy(policy)
+    if backend == "auto" and array_policy_ops(resolved) is None:
+        return SetAssociativeCache(
+            size_bytes, associativity, name=name,
+            track_words=track_words, policy=resolved,
+        )
+    return ArraySetCache(
+        size_bytes, associativity, name=name,
+        track_words=track_words, policy=resolved,
+    )

@@ -81,6 +81,7 @@ def _front_end(args: argparse.Namespace):
     return make_front_end(
         kind=getattr(args, "front_end", "none"),
         replacement=getattr(args, "replacement", "lru"),
+        capacity_mb=getattr(args, "frontend_mb", None),
     )
 
 
@@ -340,6 +341,7 @@ def cmd_regress(args: argparse.Namespace) -> int:
     from repro.analysis.regress import (
         FINGERPRINT_SEED,
         collect_fingerprint,
+        collect_frontend_fingerprint,
         compare_fingerprints,
         format_comparison,
         load_baseline,
@@ -363,12 +365,17 @@ def cmd_regress(args: argparse.Namespace) -> int:
               f"({', '.join(sorted(pinned))} budgets) in {path}")
         return 0
     try:
-        baseline = load_baseline(path, smoke=args.smoke)
+        baseline = load_baseline(
+            path, smoke=args.smoke, frontend=args.frontend
+        )
     except (OSError, ValueError) as exc:
         print(f"REGRESS: {exc}", file=sys.stderr)
         return 1
     seed = baseline.get("config", {}).get("seed", FINGERPRINT_SEED)
-    current = collect_fingerprint(smoke=args.smoke, seed=seed)
+    collect = (
+        collect_frontend_fingerprint if args.frontend else collect_fingerprint
+    )
+    current = collect(smoke=args.smoke, seed=seed)
     breaches = compare_fingerprints(baseline, current)
     print(format_comparison(baseline, current, breaches))
     if breaches:
@@ -526,6 +533,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=REPLACEMENT_POLICY_NAMES, default="lru",
                        help="front-end replacement policy "
                             "(only meaningful with --front-end dram)")
+        p.add_argument("--frontend-mb", dest="frontend_mb",
+                       type=float, default=None, metavar="MB",
+                       help="front-end tier capacity in MiB (e.g. 256 "
+                            "for the paper-scale Table I tier; default: "
+                            "the tier's built-in 256 MB). Sets/ways are "
+                            "derived and validated from the size. Only "
+                            "meaningful with --front-end dram; distinct "
+                            "sizes hash to distinct sweep-cache keys.")
 
     run_p = sub.add_parser("run", help="one workload on one system")
     run_p.add_argument("--workload", required=True)
@@ -639,8 +654,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "fingerprint (default: the committed one)")
     regress_p.add_argument("--smoke", action="store_true",
                            help="use the smoke-budget fingerprint (CI)")
+    regress_p.add_argument("--frontend", action="store_true",
+                           help="diff the front-end (dram tier) leg "
+                                "instead of the direct-path leg")
     regress_p.add_argument("--update", action="store_true",
-                           help="re-pin both budget fingerprints and exit")
+                           help="re-pin every budget/leg fingerprint "
+                                "and exit")
     regress_p.add_argument("--selftest", action="store_true",
                            help="plant a regression; the sentinel must "
                                 "detect it")

@@ -26,7 +26,7 @@ config's feature flags to an ordered list of
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.cache.dram_cache import DramCacheConfig
 from repro.cache.frontend import FRONT_END_KINDS, FrontEndConfig
@@ -144,7 +144,8 @@ FRONT_END_NAMES: List[str] = list(FRONT_END_KINDS)
 
 
 def make_front_end(
-    kind: str = "none", replacement: str = "lru", **overrides
+    kind: str = "none", replacement: str = "lru",
+    capacity_mb: Optional[float] = None, **overrides
 ) -> FrontEndConfig:
     """Build a front-end config by kind name.
 
@@ -152,9 +153,14 @@ def make_front_end(
     constructed at run time); ``kind="dram"`` is the Table I 256 MB
     DRAM cache as a timed tier.  ``replacement`` selects the eviction
     policy plugin (:data:`~repro.cache.replacement.REPLACEMENT_POLICIES`).
-    Keyword overrides forward to :class:`FrontEndConfig` (``mshrs``,
-    ``writeback_buffer``) or, via ``dram_overrides`` semantics below,
-    to the embedded :class:`DramCacheConfig` (``size_bytes``,
+    ``capacity_mb`` is the sizing knob behind ``--frontend-mb``: it
+    derives ``size_bytes`` (so paper-scale 256 MB tiers are one flag),
+    and the set/way geometry is validated by
+    :class:`~repro.cache.dram_cache.DramCacheConfig` — the size must
+    yield at least one whole set of 64-byte lines.  Keyword overrides
+    forward to :class:`FrontEndConfig` (``mshrs``, ``writeback_buffer``,
+    ``backend``) or, via ``dram_overrides`` semantics below, to the
+    embedded :class:`DramCacheConfig` (``size_bytes``,
     ``associativity``, ``access_cycles``).
     """
     if kind not in FRONT_END_NAMES:
@@ -166,6 +172,18 @@ def make_front_end(
         key: overrides.pop(key) for key in list(overrides)
         if key in dram_fields
     }
+    if capacity_mb is not None:
+        if "size_bytes" in dram_overrides:
+            raise ValueError(
+                "pass either capacity_mb or size_bytes, not both"
+            )
+        size_bytes = int(capacity_mb * 1024 * 1024)
+        if size_bytes <= 0 or size_bytes != capacity_mb * 1024 * 1024:
+            raise ValueError(
+                f"capacity_mb must be a positive whole number of KiB: "
+                f"{capacity_mb!r}"
+            )
+        dram_overrides["size_bytes"] = size_bytes
     dram = DramCacheConfig(**dram_overrides)
     return FrontEndConfig(
         kind=kind, dram=dram, replacement=replacement, **overrides

@@ -69,7 +69,7 @@ class EventHandle:
         if not self.cancelled:
             self.cancelled = True
             if self._engine is not None:
-                self._engine._live -= 1
+                self._engine._note_cancel()
 
 
 #: Heap entry: (time, seq, callback, args, handle-or-None).  ``seq`` is
@@ -87,12 +87,22 @@ class Engine:
         engine.run()
     """
 
+    #: Compaction floor: heaps smaller than this are never compacted —
+    #: the rebuild costs more than the cancelled entries' pop-skip cost.
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self) -> None:
         self._queue: List[_Entry] = []
         self._seq = 0
         #: Non-cancelled events still queued (kept exact so ``pending()``
         #: is O(1) instead of a queue scan).
         self._live = 0
+        #: Cancelled entries still physically in the heap.  When they
+        #: outnumber the live population the heap is compacted in place
+        #: (see :meth:`_compact`).
+        self._cancelled = 0
+        #: One-shot stop latch consumed by :meth:`run_until_stop`.
+        self._stop = False
         self.now: int = 0
         self._running = False
         #: Total events fired over the engine's lifetime (always counted —
@@ -160,6 +170,44 @@ class Engine:
         self.call_at(self.now + delay, callback, *args)
 
     # ------------------------------------------------------------------
+    # Heap hygiene
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Bookkeeping for one cancellation; compacts a mostly-dead heap.
+
+        Cancelled entries normally linger until popped, which is fine
+        when they are a minority — skipping them is one tuple compare.
+        Pausing-heavy runs, however, can cancel far more wake-ups than
+        they fire, so once cancelled entries exceed half the heap (and
+        the heap is big enough to matter) the queue is rebuilt without
+        them.  The rebuild is *in place* (slice assignment + heapify) so
+        the local aliases held by a running drain loop stay valid.
+        """
+        self._live -= 1
+        self._cancelled += 1
+        queue = self._queue
+        if (
+            len(queue) >= self.COMPACT_MIN_QUEUE
+            and self._cancelled * 2 > len(queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap, preserving heap order.
+
+        Entries compare by their ``(time, seq)`` prefix alone (``seq`` is
+        unique), so filtering + :func:`heapq.heapify` reproduces exactly
+        the pop order the bloated heap would have yielded.
+        """
+        queue = self._queue
+        queue[:] = [
+            entry for entry in queue
+            if entry[4] is None or not entry[4].cancelled
+        ]
+        heapq.heapify(queue)
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def peek_time(self) -> Optional[int]:
@@ -170,6 +218,7 @@ class Engine:
             handle = entry[4]
             if handle is not None and handle.cancelled:
                 heapq.heappop(queue)
+                self._cancelled -= 1
                 continue
             return entry[0]
         return None
@@ -180,6 +229,7 @@ class Engine:
         while queue:
             time, _seq, callback, args, handle = heapq.heappop(queue)
             if handle is not None and handle.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = time
             self.events_dispatched += 1
@@ -210,6 +260,7 @@ class Engine:
                 handle = entry[4]
                 if handle is not None and handle.cancelled:
                     pop(queue)
+                    self._cancelled -= 1
                     continue
                 time = entry[0]
                 if until is not None and time > until:
@@ -232,6 +283,84 @@ class Engine:
             self._running = False
         if until is not None and self.now < until:
             self.now = until
+        return fired
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run_until_stop` to stop after the current callback.
+
+        Called from inside a dispatched callback (the last core's finish
+        hook); the drain loop honours it before popping the next event,
+        so the event count is exactly what a caller polling a done-flag
+        between single steps would have dispatched.
+        """
+        self._stop = True
+
+    def run_until_stop(self, max_ticks: Optional[int] = None) -> int:
+        """Drain events until :meth:`request_stop` or the queue empties.
+
+        The simulator's hot loop: where :meth:`run` re-checks ``until``/
+        ``max_events`` budgets per event and callers poll a done-flag
+        around :meth:`step`, this drains with all loop state in locals
+        and batches entries sharing the current tick through an inner
+        loop (one heap pop + one compare each, no ``self.now`` rewrite).
+        Ordering is untouched — entries still pop in exact ``(time,
+        seq)`` order — so event streams are bit-identical to the stepped
+        loop.  Returns the number of events fired.  ``max_ticks`` mirrors
+        the simulator's safety valve: the event that first advances the
+        clock past it still fires, then the drain raises.
+
+        The stop latch is consumed on exit: a stop requested before the
+        call returns immediately (the poll-first-then-step equivalence
+        above), and the next call starts unlatched.
+        """
+        fired = 0
+        queue = self._queue
+        pop = heapq.heappop
+        profiler = self.profiler
+        limit = float("inf") if max_ticks is None else max_ticks
+        self._running = True
+        try:
+            while queue and not self._stop:
+                time, _seq, callback, args, handle = pop(queue)
+                if handle is not None and handle.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self.now = time
+                self.events_dispatched += 1
+                self._live -= 1
+                if profiler is not None:
+                    start = perf_counter()
+                    callback(*args)
+                    profiler.record(perf_counter() - start, time, callback)
+                else:
+                    callback(*args)
+                fired += 1
+                if time > limit:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_ticks} ticks"
+                    )
+                # Same-tick batch: everything scheduled for this tick
+                # (including zero-delay events a callback just pushed)
+                # drains here without touching the clock again.
+                while queue and queue[0][0] == time and not self._stop:
+                    _t, _seq, callback, args, handle = pop(queue)
+                    if handle is not None and handle.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    self.events_dispatched += 1
+                    self._live -= 1
+                    if profiler is not None:
+                        start = perf_counter()
+                        callback(*args)
+                        profiler.record(
+                            perf_counter() - start, time, callback
+                        )
+                    else:
+                        callback(*args)
+                    fired += 1
+        finally:
+            self._stop = False
+            self._running = False
         return fired
 
     def pending(self) -> int:

@@ -132,22 +132,17 @@ class SystemSimulator:
         with WallClock() as clock:
             self.multicore.start()
             if self.sampler is None:
-                # Unsampled loop: locals hoisted — this spins once per
-                # dispatched event.
-                engine = self.engine
-                step = engine.step
-                multicore = self.multicore
-                max_ticks = self.params.max_ticks
-                while not multicore.all_done:
-                    if not step():
-                        raise RuntimeError(
-                            "simulation deadlocked: no pending events but cores "
-                            "have not finished"
-                        )
-                    if engine.now > max_ticks:
-                        raise RuntimeError(
-                            f"simulation exceeded {max_ticks} ticks"
-                        )
+                # Unsampled loop: the engine drains in-place with all
+                # loop state in locals and same-tick entries batched
+                # (Engine.run_until_stop); the multicore's last finish
+                # hook latches the stop, so no per-event done-poll runs.
+                # Event order and count are bit-identical to stepping.
+                self.engine.run_until_stop(max_ticks=self.params.max_ticks)
+                if not self.multicore.all_done:
+                    raise RuntimeError(
+                        "simulation deadlocked: no pending events but cores "
+                        "have not finished"
+                    )
             else:
                 # Sampled loop: the boundary compare is hoisted inline
                 # against a local, so the common (non-boundary) step pays

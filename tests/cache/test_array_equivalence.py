@@ -1,0 +1,245 @@
+"""Property tests: the array backend is bit-identical to the object one.
+
+The columnar :class:`~repro.cache.array_backend.ArraySetCache` claims to
+reproduce the object-backed
+:class:`~repro.cache.set_assoc.SetAssociativeCache` stream for stream —
+every hit/miss verdict, every victim choice, every write-back record,
+under all three builtin replacement policies.  Hypothesis drives random
+access streams (and mixed probe/install/invalidate/merge_dirty op
+sequences) through both backends on a tiny eviction-heavy geometry and
+asserts the observable sequences match exactly.  A subprocess leg
+re-runs a seeded subset under ``REPRO_NO_NUMPY=1`` so the ``array``
+-module scalar path is held to the same bar as the vectorized one.
+"""
+
+import os
+import random
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.array_backend import ArraySetCache
+from repro.cache.set_assoc import SetAssociativeCache
+
+LINE = 64
+SETS = 4
+ASSOC = 2
+#: Line pool spanning 6 tags per set: far more tags than ways, so every
+#: policy's victim selection is exercised constantly.
+N_LINES = SETS * 6
+
+POLICIES = ("lru", "clock", "mac")
+
+
+def _pair(policy):
+    size = LINE * SETS * ASSOC
+    return (
+        SetAssociativeCache(size, ASSOC, policy=policy),
+        ArraySetCache(size, ASSOC, policy=policy),
+    )
+
+
+def _assert_same_stats(obj, arr):
+    for field in ("hits", "misses", "evictions",
+                  "clean_evictions", "dirty_evictions"):
+        assert getattr(arr.stats, field) == getattr(obj.stats, field), field
+
+
+accesses = st.lists(
+    st.tuples(st.integers(0, N_LINES - 1), st.booleans()),
+    max_size=200,
+)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@settings(max_examples=50, deadline=None)
+@given(stream=accesses)
+def test_access_streams_are_bit_identical(policy, stream):
+    obj, arr = _pair(policy)
+    for line, is_write in stream:
+        address = line * LINE + (line % 8) * 8
+        obj_hit, obj_ev = obj.access(address, is_write)
+        arr_hit, arr_ev = arr.access(address, is_write)
+        assert arr_hit == obj_hit
+        if obj_ev is None:
+            assert arr_ev is None
+        else:
+            assert arr_ev is not None
+            assert arr_ev.address == obj_ev.address
+            assert arr_ev.dirty_mask == obj_ev.dirty_mask
+    _assert_same_stats(obj, arr)
+    assert arr.dirty_lines() == obj.dirty_lines()
+    assert arr.resident_lines() == obj.resident_lines()
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@settings(max_examples=25, deadline=None)
+@given(stream=accesses, chunk=st.integers(1, 64))
+def test_chunked_access_batch_matches_object_loop(policy, stream, chunk):
+    """The batch entry point (vector path included) equals the scalar
+    loop no matter how the stream is chunked into epochs."""
+    obj, arr = _pair(policy)
+    addresses = [line * LINE for line, _ in stream]
+    writes = [is_write for _, is_write in stream]
+    obj_hits, obj_evs = [], []
+    for address, is_write in zip(addresses, writes):
+        hit, ev = obj.access(address, is_write)
+        obj_hits.append(hit)
+        obj_evs.append(ev)
+    arr_hits, arr_evs = [], []
+    for start in range(0, len(addresses), chunk):
+        hits, evs = arr.access_batch(
+            addresses[start:start + chunk], writes[start:start + chunk]
+        )
+        arr_hits.extend(hits)
+        arr_evs.extend(evs)
+    assert arr_hits == obj_hits
+    assert [
+        (ev.address, ev.dirty_mask) if ev else None for ev in arr_evs
+    ] == [
+        (ev.address, ev.dirty_mask) if ev else None for ev in obj_evs
+    ]
+    _assert_same_stats(obj, arr)
+    assert arr.dirty_lines() == obj.dirty_lines()
+
+
+#: One mixed operation: (op_code, line, mask_or_write).
+mixed_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "probe", "install",
+                         "invalidate", "merge_dirty", "classify"]),
+        st.integers(0, N_LINES - 1),
+        st.integers(0, 255),
+    ),
+    max_size=150,
+)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@settings(max_examples=25, deadline=None)
+@given(ops=mixed_ops)
+def test_mixed_op_sequences_are_bit_identical(policy, ops):
+    obj, arr = _pair(policy)
+    for op, line, extra in ops:
+        address = line * LINE
+        if op == "access":
+            assert (
+                arr.access(address, bool(extra & 1))[0]
+                == obj.access(address, bool(extra & 1))[0]
+            )
+        elif op == "probe":
+            obj_hit = obj.probe(address, dirty_mask=extra)
+            arr_hit = arr.probe(address, dirty_mask=extra)
+            # Return types differ by contract (CacheLine vs slab index);
+            # only hit/miss and the merged state must agree.
+            assert (arr_hit is not None) == (obj_hit is not None)
+        elif op == "install":
+            obj_ev = obj.install(address)
+            arr_ev = arr.install(address)
+            assert (obj_ev is None) == (arr_ev is None)
+            if obj_ev is not None:
+                assert arr_ev.address == obj_ev.address
+                assert arr_ev.dirty_mask == obj_ev.dirty_mask
+        elif op == "invalidate":
+            obj_ev = obj.invalidate(address)
+            arr_ev = arr.invalidate(address)
+            assert (obj_ev is None) == (arr_ev is None)
+            if obj_ev is not None:
+                assert arr_ev.address == obj_ev.address
+                assert arr_ev.dirty_mask == obj_ev.dirty_mask
+        elif op == "merge_dirty":
+            obj.merge_dirty(address, extra)
+            arr.merge_dirty(address, extra)
+        elif op == "classify":
+            probe_set = [(line + i) % N_LINES * LINE for i in range(20)]
+            assert arr.classify_batch(probe_set) == obj.classify_batch(
+                probe_set
+            )
+        obj_state = obj.line_state(address)
+        arr_state = arr.line_state(address)
+        assert (obj_state is None) == (arr_state is None)
+        if obj_state is not None:
+            assert arr_state.dirty_mask == obj_state.dirty_mask
+    _assert_same_stats(obj, arr)
+    assert arr.dirty_lines() == obj.dirty_lines()
+
+
+# ----------------------------------------------------------------------
+# REPRO_NO_NUMPY leg: the array-module scalar path meets the same bar
+# ----------------------------------------------------------------------
+_NO_NUMPY_PROBE = textwrap.dedent(
+    """
+    import random
+
+    from repro.cache.array_backend import ArraySetCache
+    from repro.cache.set_assoc import SetAssociativeCache
+    from repro.ecc.batch import HAS_NUMPY
+
+    assert not HAS_NUMPY, "probe must run on the scalar build"
+    LINE = 64
+    for policy in ("lru", "clock", "mac"):
+        rng = random.Random(1234)
+        obj = SetAssociativeCache(LINE * 8, 2, policy=policy)
+        arr = ArraySetCache(LINE * 8, 2, policy=policy)
+        stream = [
+            (rng.randrange(24) * LINE, rng.random() < 0.3)
+            for _ in range(600)
+        ]
+        for address, is_write in stream:
+            obj_hit, obj_ev = obj.access(address, is_write)
+            arr_hit, arr_ev = arr.access(address, is_write)
+            assert arr_hit == obj_hit
+            assert (obj_ev is None) == (arr_ev is None)
+            if obj_ev is not None:
+                assert arr_ev.address == obj_ev.address
+                assert arr_ev.dirty_mask == obj_ev.dirty_mask
+        assert arr.dirty_lines() == obj.dirty_lines()
+        assert arr.stats.hits == obj.stats.hits
+        assert arr.stats.misses == obj.stats.misses
+        # access_batch must fall back to the scalar loop, identically.
+        obj2 = SetAssociativeCache(LINE * 8, 2, policy=policy)
+        arr2 = ArraySetCache(LINE * 8, 2, policy=policy)
+        addresses = [a for a, _ in stream]
+        writes = [w for _, w in stream]
+        expect = [obj2.access(a, w)[0] for a, w in stream]
+        hits, _ = arr2.access_batch(addresses, writes)
+        assert hits == expect
+    print("SCALAR-EQUIV-OK")
+    """
+)
+
+
+def test_no_numpy_equivalence_subprocess():
+    env = dict(os.environ, REPRO_NO_NUMPY="1")
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-c", _NO_NUMPY_PROBE],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "SCALAR-EQUIV-OK" in proc.stdout
+
+
+def test_seeded_smoke_equivalence():
+    """Deterministic (non-hypothesis) leg mirroring the subprocess probe
+    on the current build — the subset CI's no-numpy job also runs."""
+    for policy in POLICIES:
+        rng = random.Random(99)
+        obj, arr = _pair(policy)
+        for _ in range(800):
+            address = rng.randrange(N_LINES) * LINE
+            is_write = rng.random() < 0.3
+            assert (
+                arr.access(address, is_write)[0]
+                == obj.access(address, is_write)[0]
+            )
+        _assert_same_stats(obj, arr)
+        assert arr.dirty_lines() == obj.dirty_lines()

@@ -26,8 +26,8 @@ TOP_LEVEL_KEYS = {
 }
 
 BENCHMARK_NAMES = [
-    "codec", "batch_codec", "storage", "engine", "trace_gen",
-    "end_to_end", "timeseries",
+    "codec", "batch_codec", "frontend_access", "storage", "engine",
+    "trace_gen", "end_to_end", "timeseries",
 ]
 
 
@@ -97,15 +97,31 @@ def test_perf_payload_schema(capsys):
     else:
         assert "encode_vs_scalar" not in batch_codec["metrics"]
         assert "batch_codec.encode_vs_scalar" not in payload["speedups"]
+    # Same contract for the array-tier report: the gated ratio exists
+    # exactly on numpy builds.
+    frontend_access = by_name["frontend_access"]
+    assert frontend_access["config"]["numpy"] is batch.HAS_NUMPY
+    if batch.HAS_NUMPY:
+        assert frontend_access["metrics"]["batch_vs_object"] > 0
+        assert "frontend_access.batch_vs_object" in payload["speedups"]
+    else:
+        assert "batch_vs_object" not in frontend_access["metrics"]
+        assert "frontend_access.batch_vs_object" not in payload["speedups"]
     # Smoke budgets never mix with the full-budget pre-PR/PR6 ratios.
     assert all("vs_pre_pr" not in key for key in payload["speedups"])
     assert all("vs_pr6" not in key for key in payload["speedups"])
-    # Smoke suites pin only the smoke fingerprint (the full one needs a
-    # full-budget run); its reference config matches the suite seed.
+    # Smoke suites pin only the smoke-budget legs (the full ones need
+    # full-budget runs); the reference configs match the suite seed.
     fingerprint = payload["metrics_fingerprint"]
-    assert set(fingerprint) == {"smoke"}
+    assert set(fingerprint) == {"smoke", "frontend_smoke"}
     assert fingerprint["smoke"]["config"]["seed"] == 3
+    assert fingerprint["smoke"]["config"]["front_end"] == "none"
     assert fingerprint["smoke"]["metrics"]["engine.sim_ticks"] > 0
+    frontend_leg = fingerprint["frontend_smoke"]
+    assert frontend_leg["config"]["front_end"] == "dram"
+    assert frontend_leg["config"]["seed"] == 3
+    assert frontend_leg["metrics"]["frontend.reads"] > 0
+    assert frontend_leg["metrics"]["frontend.fills"] > 0
 
 
 def test_run_suite_passes_its_own_regression_gate():
@@ -160,6 +176,36 @@ def test_check_payload_gates_batch_codec_on_numpy_builds():
         "name": "batch_codec",
         "config": {"numpy": False},
         "metrics": {"scalar_encode_us": 1.0, "scalar_decode_us": 3.0},
+    }])
+    assert check_payload(scalar) == []
+
+
+def test_check_payload_gates_frontend_access_on_numpy_builds():
+    base = {
+        "speedups": {
+            "codec.encode_vs_reference": 2.0,
+            "codec.decode_vs_reference": 5.0,
+        },
+    }
+    slow = dict(base, benchmarks=[{
+        "name": "frontend_access",
+        "config": {"numpy": True},
+        "metrics": {"batch_vs_object": 2.0},
+    }])
+    assert any(
+        "5x array-tier floor" in f for f in check_payload(slow)
+    )
+    missing = dict(base, benchmarks=[{
+        "name": "frontend_access",
+        "config": {"numpy": True},
+        "metrics": {"object_access_us": 1.0},
+    }])
+    assert any("batch_vs_object" in f for f in check_payload(missing))
+    # Scalar-only builds carry no ratio and are never gated.
+    scalar = dict(base, benchmarks=[{
+        "name": "frontend_access",
+        "config": {"numpy": False},
+        "metrics": {"object_access_us": 1.0},
     }])
     assert check_payload(scalar) == []
 
