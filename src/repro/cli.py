@@ -8,7 +8,15 @@ Commands::
         [--front-end dram] [--replacement lru|clock|mac]
     python -m repro compare --workload canneal [--systems a,b,c]
     python -m repro sweep --workloads canneal,MP1 [--systems ...] \\
-        [--jobs N] [--no-cache] [--cache-dir DIR] [--front-end dram]
+        [--jobs N] [--no-cache] [--cache-dir DIR] [--front-end dram] \\
+        [--timeout S] [--retries N] [--digest] [--resume CAMPAIGN --store DB]
+    python -m repro submit --workloads canneal,MP1 [--systems ...] \\
+        [--campaign NAME] [--store DB] [--requests N]
+    python -m repro worker --store DB --cache-dir DIR [--campaign NAME] \\
+        [--once] [--lease S] [--timeout S]
+    python -m repro serve --store DB --cache-dir DIR [--workers N] \\
+        [--port P] [--until-done CAMPAIGN]
+    python -m repro status --store DB [--campaign NAME] [--json] [--digest]
     python -m repro gen-trace --workload MP1 --count 1000 --out mp1.trace
     python -m repro trace --workload canneal --system rwow-rde \\
         --out run.trace.json [--jsonl run.jsonl] [--buffer N]
@@ -30,6 +38,11 @@ seed- and git-stamped ``BENCH_perf.json`` payload; ``--check`` exits
 non-zero on gross (machine-independent) regressions and
 ``REPRO_PERF_SMOKE=1`` (or ``--smoke``) shrinks the budgets for CI.  See
 docs/PERFORMANCE.md.
+
+``submit``/``worker``/``serve``/``status`` drive the durable campaign
+service (SQLite job queue, leased workers with crash recovery, HTTP
+status endpoint); ``sweep --resume`` finishes a partially-run campaign,
+computing only what's missing.  See docs/CAMPAIGNS.md.
 
 ``trace`` records the structured telemetry events of one run and exports
 them as a Chrome trace (open in ``chrome://tracing`` or Perfetto; chips
@@ -179,14 +192,41 @@ def _progress_printer(quiet: bool):
     return emit
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    """Workloads x systems grid through the parallel runner + cache."""
-    systems = args.systems.split(",") if args.systems else None
-    workloads = args.workloads.split(",")
-    cache_dir = args.cache_dir or os.environ.get(
+#: Default campaign store, next to the default sweep cache.
+DEFAULT_STORE_PATH = os.path.join("benchmarks", "results", "campaign.sqlite")
+
+
+def _sweep_cache_dir(args: argparse.Namespace) -> str:
+    return getattr(args, "cache_dir", None) or os.environ.get(
         "REPRO_SWEEP_CACHE_DIR", DEFAULT_CACHE_DIR
     )
-    cache = None if args.no_cache else ResultCache(cache_dir)
+
+
+def _lease_policy(args: argparse.Namespace):
+    """LeasePolicy from the campaign CLI knobs (defaults where absent)."""
+    from repro.sim.campaign import LeasePolicy
+
+    kwargs = {}
+    if getattr(args, "lease", None) is not None:
+        kwargs["lease_seconds"] = args.lease
+    if getattr(args, "max_attempts", None) is not None:
+        kwargs["max_attempts"] = args.max_attempts
+    if getattr(args, "timeout", None) is not None:
+        kwargs["job_timeout"] = args.timeout
+    return LeasePolicy(**kwargs)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Workloads x systems grid through the parallel runner + cache."""
+    if args.resume:
+        return _sweep_resume(args)
+    if not args.workloads:
+        print("repro sweep: --workloads is required (unless --resume)",
+              file=sys.stderr)
+        return 2
+    systems = args.systems.split(",") if args.systems else None
+    workloads = args.workloads.split(",")
+    cache = None if args.no_cache else ResultCache(_sweep_cache_dir(args))
     comparisons = sweep_workloads(
         workloads,
         systems,
@@ -194,6 +234,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
         progress=_progress_printer(args.quiet),
+        timeout=args.timeout,
+        retries=args.retries,
     )
     for comparison in comparisons:
         rows = [_result_row(r) for r in comparison.results.values()]
@@ -201,8 +243,178 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             _RESULT_HEADERS, rows, title=f"workload {comparison.workload_name}"
         ))
         print()
+    if args.digest:
+        from repro.sim.results_io import results_digest
+
+        flat = [
+            result
+            for comparison in comparisons
+            for result in comparison.results.values()
+        ]
+        print(f"results digest: {results_digest(flat)}")
     if cache is not None:
         print(f"{cache.stats.summary()} ({cache.directory})")
+    return 0
+
+
+def _sweep_resume(args: argparse.Namespace) -> int:
+    """Finish a partially-run campaign; compute only what's missing."""
+    from repro.sim.campaign import CampaignStore, resume_campaign
+    from repro.sim.results_io import results_digest
+
+    store = CampaignStore(args.store, policy=_lease_policy(args))
+    if args.resume not in store.campaigns():
+        print(f"repro sweep: unknown campaign {args.resume!r} in "
+              f"{store.path} (known: {', '.join(store.campaigns()) or 'none'})",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(_sweep_cache_dir(args))
+    try:
+        results = resume_campaign(
+            store, cache, args.resume,
+            reset_dead_letters=args.reset_dead_letters,
+        )
+    except RuntimeError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 1
+    rows = [[r.workload_name] + _result_row(r) for r in results]
+    print(format_table(
+        ["workload"] + _RESULT_HEADERS, rows,
+        title=f"campaign {args.resume} ({len(results)} jobs)",
+    ))
+    if args.digest:
+        print(f"results digest: {results_digest(results)}")
+    print(f"{cache.stats.summary()} ({cache.directory})")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Enqueue a workloads x systems grid as a durable campaign."""
+    from repro.sim.campaign import CampaignStore, submit_pairs
+    from repro.trace.workloads import get_workload as _resolve
+
+    systems = args.systems.split(",") if args.systems else list(SYSTEM_NAMES)
+    workloads = [_resolve(name).name for name in args.workloads.split(",")]
+    pairs = [(w, s) for w in workloads for s in systems]
+    store = CampaignStore(args.store, policy=_lease_policy(args))
+    try:
+        name = submit_pairs(store, pairs, _params(args), args.campaign)
+    except ValueError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 2
+    counts = store.counts(name)
+    print(f"campaign {name}: {counts['total']} jobs "
+          f"({counts['queued']} queued, {counts['done']} done) in {store.path}")
+    print(f"resume with: repro sweep --resume {name} --store {store.path}")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Long-lived lease-pulling worker attached to a campaign store."""
+    from repro.sim.campaign import run_worker
+
+    completed = run_worker(
+        args.store,
+        _sweep_cache_dir(args),
+        campaign=args.campaign,
+        worker_id=args.worker_id,
+        once=args.once,
+        policy=_lease_policy(args),
+        poll_seconds=args.poll,
+    )
+    print(f"worker done: {completed} job(s) completed", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Campaign service: worker fleet + lease sweeper + HTTP status."""
+    from repro.sim.campaign import CampaignService, CampaignStore
+
+    store = CampaignStore(args.store, policy=_lease_policy(args))
+    cache = ResultCache(_sweep_cache_dir(args))
+    service = CampaignService(
+        store, cache, workers=args.workers, host=args.host, port=args.port
+    ).start()
+    print(f"campaign service on http://{service.server.host}:"
+          f"{service.server.port} ({args.workers} worker(s), "
+          f"store {store.path})", file=sys.stderr)
+    try:
+        if args.until_done:
+            ok = service.wait_until_done(args.until_done)
+            counts = store.counts(args.until_done)
+            print(f"campaign {args.until_done}: {counts['done']}/"
+                  f"{counts['total']} done, {counts['failed']} dead-lettered",
+                  file=sys.stderr)
+            return 0 if ok else 1
+        while True:  # pragma: no cover - interactive serve loop
+            import time as _time
+
+            _time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+    finally:
+        service.stop()
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Campaign progress, from the HTTP endpoint or the store directly."""
+    if args.url:
+        import urllib.request
+
+        path = (f"/v1/campaigns/{args.campaign}" if args.campaign
+                else "/v1/status")
+        with urllib.request.urlopen(args.url.rstrip("/") + path) as response:
+            print(response.read().decode("utf-8"))
+        return 0
+
+    from repro.sim.campaign import (
+        CampaignStore,
+        campaign_progress,
+        collect_results,
+    )
+    from repro.sim.results_io import results_digest
+
+    store = CampaignStore(args.store)
+    names = [args.campaign] if args.campaign else store.campaigns()
+    if args.campaign and args.campaign not in store.campaigns():
+        print(f"repro status: unknown campaign {args.campaign!r}",
+              file=sys.stderr)
+        return 2
+    documents = [campaign_progress(store, name) for name in names]
+    if args.digest:
+        cache = ResultCache(_sweep_cache_dir(args))
+        for document in documents:
+            slots, _ = collect_results(store, cache, str(document["campaign"]))
+            present = [r for r in slots if r is not None]
+            document["results_cached"] = len(present)
+            if len(present) == document["total"]:
+                document["results_digest"] = results_digest(present)
+    if args.json:
+        print(json.dumps(documents, indent=1, sort_keys=True))
+        return 0
+    rows = []
+    for document in documents:
+        counts = document["counts"]
+        rows.append([
+            document["campaign"],
+            counts["queued"], counts["leased"], counts["done"],
+            counts["failed"],
+            f"{100.0 * float(document['progress']):.1f}%",
+        ])
+    print(format_table(
+        ["campaign", "queued", "leased", "done", "failed", "progress"],
+        rows, title=f"campaign store {store.path}",
+    ))
+    for document in documents:
+        for letter in document["dead_letters"]:
+            error = str(letter["error"] or "").strip().splitlines()
+            print(f"\ndead letter {document['campaign']}"
+                  f"[{letter['job_index']}] {letter['workload']} x "
+                  f"{letter['system']} after {letter['attempts']} attempts: "
+                  f"{error[-1] if error else '?'}")
+        if "results_digest" in document:
+            print(f"\n{document['campaign']} results digest: "
+                  f"{document['results_digest']}")
     return 0
 
 
@@ -558,25 +770,138 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(cmp_p)
     cmp_p.set_defaults(func=cmd_compare)
 
+    def add_cache_dir(p):
+        p.add_argument("--cache-dir",
+                       help="result cache directory (default: "
+                            f"$REPRO_SWEEP_CACHE_DIR or {DEFAULT_CACHE_DIR})")
+
+    def add_store(p, required=False):
+        p.add_argument("--store", required=required,
+                       default=None if required else DEFAULT_STORE_PATH,
+                       help="campaign store (SQLite file; default: "
+                            f"{DEFAULT_STORE_PATH})")
+
+    def add_lease_knobs(p):
+        p.add_argument("--lease", type=float, default=None, metavar="S",
+                       help="lease seconds before a silent worker's job "
+                            "is reclaimed (default: 30)")
+        p.add_argument("--max-attempts", type=int, default=None,
+                       help="lease acquisitions before a job dead-letters "
+                            "(default: 4)")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job wall-clock cap; an overdue job is "
+                            "killed and retried (default: none)")
+
     sweep_p = sub.add_parser(
         "sweep",
         help="several workloads across systems (parallel, cached)",
     )
-    sweep_p.add_argument("--workloads", required=True,
-                         help="comma-separated workload names")
+    sweep_p.add_argument("--workloads",
+                         help="comma-separated workload names "
+                              "(required unless --resume)")
     sweep_p.add_argument("--systems", help="comma-separated system names")
     sweep_p.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
                          help="worker processes (default: all cores)")
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="always re-simulate; do not read or write "
                               "the on-disk result cache")
-    sweep_p.add_argument("--cache-dir",
-                         help="result cache directory (default: "
-                              f"$REPRO_SWEEP_CACHE_DIR or {DEFAULT_CACHE_DIR})")
+    add_cache_dir(sweep_p)
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress per-job progress lines on stderr")
+    sweep_p.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="per-job wall-clock cap; an overdue job is "
+                              "killed and retried instead of wedging the "
+                              "sweep (default: none)")
+    sweep_p.add_argument("--retries", type=int, default=0,
+                         help="extra attempts per failed/hung job "
+                              "(default: 0)")
+    sweep_p.add_argument("--digest", action="store_true",
+                         help="print the SHA-256 results digest (the "
+                              "campaign byte-identity oracle)")
+    sweep_p.add_argument("--resume", metavar="CAMPAIGN",
+                         help="finish a partially-run campaign from "
+                              "--store instead of sweeping --workloads")
+    sweep_p.add_argument("--reset-dead-letters", action="store_true",
+                         help="with --resume: give dead-lettered jobs a "
+                              "fresh attempt budget")
+    add_store(sweep_p)
+    sweep_p.add_argument("--lease", type=float, default=None,
+                         help=argparse.SUPPRESS)
+    sweep_p.add_argument("--max-attempts", type=int, default=None,
+                         help=argparse.SUPPRESS)
     add_common(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="enqueue a workloads x systems grid as a durable campaign",
+    )
+    submit_p.add_argument("--workloads", required=True,
+                          help="comma-separated workload names")
+    submit_p.add_argument("--systems", help="comma-separated system names "
+                                            "(default: all six)")
+    submit_p.add_argument("--campaign",
+                          help="campaign name (default: derived from the "
+                               "job-list content hash)")
+    add_store(submit_p)
+    add_lease_knobs(submit_p)
+    add_common(submit_p)
+    submit_p.set_defaults(func=cmd_submit)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="pull and run campaign jobs under lease (attachable "
+             "from any host sharing the store)",
+    )
+    add_store(worker_p, required=True)
+    add_cache_dir(worker_p)
+    worker_p.add_argument("--campaign",
+                          help="only pull jobs of this campaign "
+                               "(default: any)")
+    worker_p.add_argument("--once", action="store_true",
+                          help="exit when nothing is leasable instead of "
+                               "polling forever")
+    worker_p.add_argument("--worker-id",
+                          help="lease-owner label (default: host:pid)")
+    worker_p.add_argument("--poll", type=float, default=0.25,
+                          help="idle poll interval in seconds")
+    add_lease_knobs(worker_p)
+    worker_p.set_defaults(func=cmd_worker)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="campaign service: worker fleet + HTTP status endpoint",
+    )
+    add_store(serve_p)
+    add_cache_dir(serve_p)
+    serve_p.add_argument("--workers", type=int, default=os.cpu_count() or 1,
+                         help="worker subprocesses (default: all cores)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="status port (default: ephemeral, printed "
+                              "on stderr)")
+    serve_p.add_argument("--until-done", metavar="CAMPAIGN",
+                         help="exit once this campaign has no queued or "
+                              "leased jobs (0 iff none dead-lettered)")
+    add_lease_knobs(serve_p)
+    serve_p.set_defaults(func=cmd_serve)
+
+    status_p = sub.add_parser(
+        "status",
+        help="campaign progress from the store or a running service",
+    )
+    add_store(status_p)
+    add_cache_dir(status_p)
+    status_p.add_argument("--campaign", help="one campaign (default: all)")
+    status_p.add_argument("--url",
+                          help="query a running `repro serve` endpoint "
+                               "instead of reading the store")
+    status_p.add_argument("--json", action="store_true",
+                          help="emit the status documents as JSON")
+    status_p.add_argument("--digest", action="store_true",
+                          help="include the results digest for complete "
+                               "campaigns (reads the result cache)")
+    status_p.set_defaults(func=cmd_status)
 
     trace_p = sub.add_parser(
         "trace", help="record one run's telemetry as a Chrome trace"

@@ -8,6 +8,7 @@ a results file holds a list of them.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import platform as platform_module
@@ -136,6 +137,22 @@ def result_from_dict(data: dict) -> SimulationResult:
         timeseries=data.get("timeseries"),
         frontend=data.get("frontend"),
     )
+
+
+def results_digest(results: List[SimulationResult]) -> str:
+    """SHA-256 over the canonical JSON of ``results`` (order-sensitive).
+
+    The byte-identity oracle for the campaign service: a resumed,
+    multi-worker or kill-and-recovered campaign must digest identically
+    to a serial ``run_pairs`` of the same pairs.  Every field of
+    :func:`result_to_dict` participates — metrics, time-series, the
+    attribution manifest — so the digest is machine-local (the manifest
+    embeds platform and code version) but exact across processes,
+    workers and resumes on one checkout.
+    """
+    payload = [result_to_dict(result) for result in results]
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def atomic_write_text(path: Union[str, Path], text: str) -> None:

@@ -11,6 +11,12 @@ See DESIGN.md ("Sweep runner") for the job model and cache-key scheme.
 """
 
 from repro.sim.runner.cache import CACHE_SCHEMA, CacheStats, ResultCache
+from repro.sim.runner.isolate import (
+    JobCrashedError,
+    JobExecutionError,
+    JobTimeoutError,
+    run_job_isolated,
+)
 from repro.sim.runner.executor import (
     ProgressCallback,
     SweepProgress,
@@ -31,6 +37,10 @@ __all__ = [
     "CACHE_SCHEMA",
     "CacheStats",
     "ResultCache",
+    "JobCrashedError",
+    "JobExecutionError",
+    "JobTimeoutError",
+    "run_job_isolated",
     "ProgressCallback",
     "SweepProgress",
     "SweepRunner",

@@ -1,0 +1,120 @@
+"""Concurrency stress: many threads hammer one store, exactly-once wins.
+
+``BEGIN IMMEDIATE`` is the whole argument for the lease protocol's
+safety across connections; this test makes N threads race lease/
+complete (and lease/fail) over a shared file and then audits that every
+job was claimed by exactly one winner per attempt and completed exactly
+once.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.sim.campaign import CampaignStore, LeasePolicy
+
+from tests.campaign.conftest import job_pool
+
+pytestmark = pytest.mark.campaign
+
+N_THREADS = 8
+N_JOBS = 24
+
+
+def test_threads_lease_each_job_exactly_once(tmp_path):
+    store = CampaignStore(
+        tmp_path / "stress.sqlite",
+        policy=LeasePolicy(lease_seconds=60.0, max_attempts=1),
+    )
+    store.submit("stress", job_pool(N_JOBS))
+
+    claims = {}          # job_index -> [worker, ...]
+    completions = {}     # job_index -> successful complete() count
+    lock = threading.Lock()
+    start = threading.Barrier(N_THREADS)
+
+    def worker(worker_id: str):
+        start.wait()
+        while True:
+            leased = store.lease(worker_id, "stress")
+            if leased is None:
+                return
+            with lock:
+                claims.setdefault(leased.job_index, []).append(worker_id)
+            ok = store.complete("stress", leased.job_index, worker_id)
+            with lock:
+                completions[leased.job_index] = (
+                    completions.get(leased.job_index, 0) + int(ok)
+                )
+
+    threads = [
+        threading.Thread(target=worker, args=(f"t{i}",))
+        for i in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "stress worker wedged"
+
+    # Every job claimed exactly once, completed exactly once.
+    assert sorted(claims) == list(range(N_JOBS))
+    assert all(len(owners) == 1 for owners in claims.values())
+    assert completions == {index: 1 for index in range(N_JOBS)}
+    counts = store.counts("stress")
+    assert counts["done"] == N_JOBS and counts["total"] == N_JOBS
+    store.close()
+
+
+def test_threads_racing_fail_and_complete(tmp_path):
+    """Chaotic fail/requeue/complete interleavings stay exactly-once.
+
+    Each thread flips a (seeded) coin per claim: fail the job back into
+    the queue or complete it.  However the interleaving lands, every job
+    must end ``done`` with exactly one successful ``complete`` — a fail
+    race can cost retries, never results.
+    """
+    store = CampaignStore(
+        tmp_path / "race.sqlite",
+        policy=LeasePolicy(
+            lease_seconds=60.0, max_attempts=1000, backoff_base=0.0
+        ),
+    )
+    store.submit("race", job_pool(6))
+
+    wins = []
+    lock = threading.Lock()
+    start = threading.Barrier(N_THREADS)
+
+    def worker(worker_id: str, seed: int):
+        rng = random.Random(seed)
+        start.wait()
+        while store.pending("race"):
+            leased = store.lease(worker_id, "race")
+            if leased is None:
+                time.sleep(0.001)
+                continue
+            if rng.random() < 0.5:
+                store.fail("race", leased.job_index, worker_id, "chaos")
+            elif store.complete("race", leased.job_index, worker_id):
+                with lock:
+                    wins.append(leased.job_index)
+
+    threads = [
+        threading.Thread(target=worker, args=(f"t{i}", 1000 + i))
+        for i in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "race worker wedged"
+
+    assert sorted(wins) == list(range(6)), "a job completed twice or never"
+    counts = store.counts("race")
+    assert counts["done"] == 6 and counts["failed"] == 0
+    store.close()

@@ -1,0 +1,137 @@
+"""Status endpoint tests: real HTTP over an ephemeral port.
+
+The requests go through ``http.client`` against a live
+:class:`StatusServer`, and every response body is linted against
+``STATUS_SCHEMA`` — the same contract dict docs/CAMPAIGNS.md documents
+(see ``test_schema_is_documented``), so handler, tests and docs cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.campaign import STATUS_SCHEMA, StatusServer, Worker
+
+from tests.campaign.conftest import fake_result, job_pool
+
+pytestmark = pytest.mark.campaign
+
+
+@pytest.fixture
+def server(store, cache):
+    srv = StatusServer(store, cache).start()
+    yield srv
+    srv.stop()
+
+
+def get(server, path, method="GET"):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request(method, path)
+        response = conn.getresponse()
+        body = json.loads(response.read().decode("utf-8"))
+        return response.status, response.getheader("Content-Type"), body
+    finally:
+        conn.close()
+
+
+def populate(store, cache, n=2, complete=1):
+    jobs = job_pool(n)
+    store.submit("web", jobs)
+    worker = Worker(store, cache, worker_id="w1", execute=fake_result)
+    for _ in range(complete):
+        leased = store.lease("w1", "web")
+        worker.run_one(leased)
+    return jobs
+
+
+def test_healthz(server):
+    status, ctype, body = get(server, "/healthz")
+    assert status == 200 and ctype == "application/json"
+    assert body == {"ok": True}
+    assert sorted(body) == sorted(STATUS_SCHEMA["/healthz"])
+
+
+def test_status_document_matches_schema(server, store, cache):
+    populate(store, cache)
+    status, _, body = get(server, "/v1/status")
+    assert status == 200
+    assert sorted(body) == sorted(STATUS_SCHEMA["/v1/status"])
+    assert sorted(body["service"]) == sorted(STATUS_SCHEMA["/v1/status#service"])
+    assert body["service"]["store"] == str(store.path)
+    assert body["service"]["uptime_seconds"] >= 0
+    assert [c["campaign"] for c in body["campaigns"]] == ["web"]
+
+
+def test_campaign_listing_and_progress(server, store, cache):
+    populate(store, cache, n=2, complete=1)
+    status, _, body = get(server, "/v1/campaigns")
+    assert status == 200 and body == {"campaigns": ["web"]}
+    assert sorted(body) == sorted(STATUS_SCHEMA["/v1/campaigns"])
+
+    status, _, body = get(server, "/v1/campaigns/web")
+    assert status == 200
+    assert sorted(body) == sorted(STATUS_SCHEMA["/v1/campaigns/<name>"])
+    assert body["total"] == 2
+    assert body["counts"]["done"] == 1 and body["counts"]["queued"] == 1
+    assert body["progress"] == 0.5
+    assert body["dead_letters"] == []
+
+
+def test_merged_partial_view_streams(server, store, cache):
+    populate(store, cache, n=2, complete=1)
+    status, _, body = get(server, "/v1/campaigns/web/merged")
+    assert status == 200
+    assert sorted(body) == sorted(
+        STATUS_SCHEMA["/v1/campaigns/<name>/merged"]
+    )
+    assert body["total"] == 2 and body["merged_over"] == 1
+
+    # Completing the rest grows the merge monotonically to the full set.
+    Worker(store, cache, worker_id="w2", execute=fake_result).run(
+        campaign="web", once=True
+    )
+    _, _, body = get(server, "/v1/campaigns/web/merged")
+    assert body["merged_over"] == 2
+
+
+def test_unknown_paths_and_campaigns_404(server, store, cache):
+    populate(store, cache)
+    for path in (
+        "/nope",
+        "/v1/nope",
+        "/v1/campaigns/missing",
+        "/v1/campaigns/web/unknown-view",
+    ):
+        status, _, body = get(server, path)
+        assert status == 404, path
+        assert sorted(body) == sorted(STATUS_SCHEMA["error"]), path
+
+
+def test_post_is_refused(server):
+    status, _, body = get(server, "/v1/status", method="POST")
+    assert status == 405
+    assert sorted(body) == sorted(STATUS_SCHEMA["error"])
+
+
+def test_query_strings_and_trailing_slashes_are_tolerated(server):
+    status, _, body = get(server, "/healthz/?verbose=1")
+    assert status == 200 and body == {"ok": True}
+
+
+def test_schema_is_documented():
+    """Every key in the JSON contract appears in docs/CAMPAIGNS.md."""
+    doc = Path(__file__).resolve().parents[2] / "docs" / "CAMPAIGNS.md"
+    text = doc.read_text(encoding="utf-8")
+    for route, keys in STATUS_SCHEMA.items():
+        route_label = route.split("#", 1)[0]
+        assert route_label in text, f"route {route_label!r} undocumented"
+        for key in keys:
+            assert f"`{key}`" in text, (
+                f"schema key {key!r} of {route!r} missing from CAMPAIGNS.md"
+            )

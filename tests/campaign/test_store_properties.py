@@ -1,0 +1,167 @@
+"""Property tests: the store never loses, duplicates or forgets a job.
+
+A Hypothesis state machine drives arbitrary interleavings of the lease
+protocol — submit, lease, heartbeat, complete, fail, clock advance,
+expiry sweep — against a real on-disk store with a fake clock, and
+checks the invariants the module docstring promises after every step:
+
+* partition:  queued + leased + done + failed == submitted, per campaign;
+* exactly-once: ``complete`` succeeds at most once per job, ever;
+* no resurrection: a done job never leaves ``done`` (absent ``requeue``),
+  a dead-lettered job never becomes leasable again.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.sim.campaign import JOB_STATES, CampaignStore, LeasePolicy
+
+from tests.campaign.conftest import job_pool
+
+pytestmark = pytest.mark.campaign
+
+#: Built once: SweepJob.build resolves workloads/systems, which is not
+#: free, and the machine only needs stable distinct payloads.
+JOBS = job_pool(6)
+
+POLICY = LeasePolicy(
+    lease_seconds=10.0,
+    heartbeat_seconds=1.0,
+    max_attempts=3,
+    backoff_base=1.0,
+    backoff_cap=8.0,
+)
+
+WORKERS = ("w0", "w1", "w2")
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = None
+        self.clock = 1_000.0
+        self.submitted = {}        # campaign -> job count
+        self.live_leases = []      # (campaign, job_index, worker) we took
+        self.completed = set()     # (campaign, job_index) completed once
+
+    @initialize()
+    def init_store(self):
+        self._dir = tempfile.mkdtemp(prefix="campaign-prop-")
+        self.store = CampaignStore(
+            Path(self._dir) / "store.sqlite", policy=POLICY
+        )
+
+    def teardown(self):
+        if self.store is not None:
+            self.store.close()
+        shutil.rmtree(self._dir, ignore_errors=True)
+
+    # -- rules ---------------------------------------------------------
+    @rule(count=st.integers(min_value=1, max_value=3))
+    def submit(self, count):
+        name = f"c{len(self.submitted)}"
+        self.store.submit(name, JOBS[:count])
+        self.submitted[name] = count
+
+    @rule(worker=st.sampled_from(WORKERS))
+    def lease(self, worker):
+        leased = self.store.lease(worker, now=self.clock)
+        if leased is not None:
+            assert 1 <= leased.attempts <= POLICY.max_attempts
+            assert (leased.campaign, leased.job_index) not in self.completed
+            self.live_leases.append(
+                (leased.campaign, leased.job_index, worker)
+            )
+
+    @rule(data=st.data())
+    def heartbeat(self, data):
+        if not self.live_leases:
+            return
+        campaign, index, worker = data.draw(
+            st.sampled_from(self.live_leases)
+        )
+        # May legitimately return False if the lease expired meanwhile;
+        # it must never raise or change any other row.
+        self.store.heartbeat(campaign, index, worker, now=self.clock)
+
+    @rule(data=st.data())
+    def complete(self, data):
+        if not self.live_leases:
+            return
+        lease = data.draw(st.sampled_from(self.live_leases))
+        campaign, index, worker = lease
+        ok = self.store.complete(campaign, index, worker)
+        if ok:
+            key = (campaign, index)
+            assert key not in self.completed, "double-complete"
+            self.completed.add(key)
+        self.live_leases.remove(lease)
+
+    @rule(data=st.data())
+    def fail(self, data):
+        if not self.live_leases:
+            return
+        lease = data.draw(st.sampled_from(self.live_leases))
+        campaign, index, worker = lease
+        outcome = self.store.fail(
+            campaign, index, worker, "injected", now=self.clock
+        )
+        assert outcome in ("queued", "failed", None)
+        self.live_leases.remove(lease)
+
+    @rule(step=st.floats(min_value=0.5, max_value=30.0))
+    def advance_clock(self, step):
+        self.clock += step
+
+    @rule()
+    def expire(self):
+        self.store.expire_leases(now=self.clock)
+        # Leases we still believe in may have been reclaimed; completing
+        # them later must then return False — which complete() tolerates.
+
+    # -- invariants ----------------------------------------------------
+    @invariant()
+    def partition_holds(self):
+        if self.store is None:
+            return
+        for campaign, total in self.submitted.items():
+            counts = self.store.counts(campaign)
+            assert counts["total"] == total, "job rows lost or invented"
+            assert sum(counts[s] for s in JOB_STATES) == total
+
+    @invariant()
+    def done_jobs_stay_done(self):
+        if self.store is None:
+            return
+        for campaign, index in self.completed:
+            assert self.store.job(campaign, index)["state"] == "done"
+
+    @invariant()
+    def dead_letters_are_terminal(self):
+        if self.store is None:
+            return
+        for campaign in self.submitted:
+            for row in self.store.dead_letters(campaign):
+                assert row["attempts"] >= 1
+                assert row["error"], "dead letter without a post-mortem"
+
+
+StoreMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+TestStoreMachine = StoreMachine.TestCase

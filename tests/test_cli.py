@@ -276,3 +276,129 @@ def test_gen_trace_roundtrip(tmp_path, capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ----------------------------------------------------------------------
+# Durable campaign commands (submit / worker / serve / status / resume)
+# ----------------------------------------------------------------------
+
+CAMPAIGN_SCALE = ["--requests", "120", "--cores", "2", "--seed", "7"]
+CAMPAIGN_GRID = ["--workloads", "MP3", "--systems", "baseline,rwow-rde"]
+
+
+@pytest.mark.campaign
+def test_campaign_cli_round_trip(tmp_path, capsys):
+    """submit -> worker -> status -> resume reproduces the serial digest."""
+    store = str(tmp_path / "campaign.sqlite")
+    cache = str(tmp_path / "cache")
+
+    # Serial one-shot reference of the same grid.
+    assert main([
+        "sweep", *CAMPAIGN_GRID, "--jobs", "1", "--no-cache",
+        "--digest", "--quiet", *CAMPAIGN_SCALE,
+    ]) == 0
+    digest_lines = [
+        line for line in capsys.readouterr().out.splitlines()
+        if line.startswith("results digest: ")
+    ]
+    assert len(digest_lines) == 1
+    reference = digest_lines[0]
+
+    assert main([
+        "submit", *CAMPAIGN_GRID, "--campaign", "cli",
+        "--store", store, *CAMPAIGN_SCALE,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "campaign cli: 2 jobs (2 queued, 0 done)" in out
+    assert "repro sweep --resume cli" in out
+
+    # Resubmitting the identical grid is an idempotent no-op.
+    assert main([
+        "submit", *CAMPAIGN_GRID, "--campaign", "cli",
+        "--store", store, *CAMPAIGN_SCALE,
+    ]) == 0
+    capsys.readouterr()
+
+    assert main([
+        "worker", "--store", store, "--cache-dir", cache,
+        "--campaign", "cli", "--once",
+    ]) == 0
+    assert "worker done: 2 job(s) completed" in capsys.readouterr().err
+
+    assert main([
+        "status", "--store", store, "--cache-dir", cache, "--digest",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cli" in out and "100.0%" in out
+    assert reference.split(": ", 1)[1] in out
+
+    # Resume of the finished campaign is a pure cache replay with the
+    # byte-identical digest.
+    assert main([
+        "sweep", "--resume", "cli", "--store", store,
+        "--cache-dir", cache, "--digest",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert reference in out
+    assert "0 misses" in out and "0 writes" in out  # nothing re-simulated
+
+
+@pytest.mark.campaign
+def test_campaign_status_json(tmp_path, capsys):
+    store = str(tmp_path / "campaign.sqlite")
+    assert main([
+        "submit", *CAMPAIGN_GRID, "--campaign", "doc",
+        "--store", store, *CAMPAIGN_SCALE,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["status", "--store", store, "--json"]) == 0
+    import json as _json
+
+    documents = _json.loads(capsys.readouterr().out)
+    assert documents[0]["campaign"] == "doc"
+    assert documents[0]["counts"]["queued"] == 2
+    assert documents[0]["total"] == 2
+    assert main(["status", "--store", store, "--campaign", "ghost"]) == 2
+    assert "unknown campaign" in capsys.readouterr().err
+
+
+@pytest.mark.campaign
+def test_submit_refuses_changed_grid(tmp_path, capsys):
+    store = str(tmp_path / "campaign.sqlite")
+    assert main([
+        "submit", "--workloads", "MP3", "--systems", "baseline",
+        "--campaign", "c", "--store", store, *CAMPAIGN_SCALE,
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "submit", "--workloads", "MP3", "--systems", "rwow-rde",
+        "--campaign", "c", "--store", store, *CAMPAIGN_SCALE,
+    ]) == 2
+    assert "different jobs" in capsys.readouterr().err
+
+
+@pytest.mark.campaign
+def test_sweep_resume_error_paths(tmp_path, capsys):
+    store = str(tmp_path / "campaign.sqlite")
+    assert main(["sweep", "--resume", "ghost", "--store", store]) == 2
+    assert "unknown campaign" in capsys.readouterr().err
+    assert main(["sweep"]) == 2
+    assert "--workloads is required" in capsys.readouterr().err
+
+
+@pytest.mark.campaign
+def test_serve_until_done(tmp_path, capsys):
+    store = str(tmp_path / "campaign.sqlite")
+    cache = str(tmp_path / "cache")
+    assert main([
+        "submit", "--workloads", "MP3", "--systems", "baseline",
+        "--campaign", "srv", "--store", store, *CAMPAIGN_SCALE,
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "serve", "--store", store, "--cache-dir", cache,
+        "--workers", "1", "--until-done", "srv",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "campaign service on http://" in err
+    assert "campaign srv: 1/1 done, 0 dead-lettered" in err
